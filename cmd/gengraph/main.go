@@ -1,0 +1,117 @@
+// Command gengraph generates synthetic graphs and writes them to disk, or
+// inspects existing graph files.
+//
+// Examples:
+//
+//	gengraph -kind rmat -n 100000 -m 800000 -seed 1 -o web.txt
+//	gengraph -kind dataset -dataset web-google -scale 50 -o google.bin
+//	gengraph -kind grid -rows 100 -cols 100 -o grid.txt
+//	gengraph -stats -i web.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ndgraph/internal/gen"
+	"ndgraph/internal/graph"
+	"ndgraph/internal/loader"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gengraph", flag.ContinueOnError)
+	kind := fs.String("kind", "rmat", "generator: rmat, er, pa, banded, grid, ring, chain, star, complete, dataset")
+	n := fs.Int("n", 1000, "vertices")
+	m := fs.Int("m", 8000, "edges (rmat, er)")
+	k := fs.Int("k", 8, "per-vertex parameter (pa out-degree, banded degree)")
+	bw := fs.Int("bw", 64, "bandwidth (banded)")
+	rows := fs.Int("rows", 32, "grid rows")
+	cols := fs.Int("cols", 32, "grid cols")
+	bidir := fs.Bool("bidir", false, "bidirectional grid edges")
+	dataset := fs.String("dataset", "web-google", "paper dataset analog (with -kind dataset)")
+	scale := fs.Int("scale", 100, "dataset scale divisor")
+	seed := fs.Uint64("seed", 42, "random seed")
+	outPath := fs.String("o", "", "output path (.bin for binary; default: stats to stdout)")
+	in := fs.String("i", "", "inspect an existing graph file instead of generating")
+	stats := fs.Bool("stats", false, "print statistics for the generated/loaded graph")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *graph.Graph
+	var err error
+	if *in != "" {
+		g, err = loader.LoadFile(*in, graph.Options{})
+	} else {
+		g, err = generate(*kind, *n, *m, *k, *bw, *rows, *cols, *bidir, *dataset, *scale, *seed)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *outPath != "" {
+		if err := loader.SaveFile(*outPath, g); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s: %d vertices, %d edges\n", *outPath, g.N(), g.M())
+	}
+	if *stats || *outPath == "" {
+		printStats(out, g)
+	}
+	return nil
+}
+
+func generate(kind string, n, m, k, bw, rows, cols int, bidir bool, dataset string, scale int, seed uint64) (*graph.Graph, error) {
+	switch kind {
+	case "rmat":
+		return gen.RMAT(n, m, gen.DefaultRMAT, seed)
+	case "er":
+		return gen.ErdosRenyi(n, m, seed)
+	case "pa":
+		return gen.PreferentialAttachment(n, k, seed)
+	case "banded":
+		return gen.Banded(n, k, bw, seed)
+	case "grid":
+		return gen.Grid(rows, cols, bidir, seed)
+	case "ring":
+		return gen.Ring(n)
+	case "chain":
+		return gen.Chain(n)
+	case "star":
+		return gen.Star(n)
+	case "complete":
+		return gen.Complete(n)
+	case "dataset":
+		d, err := gen.ParseDataset(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Synthesize(d, scale, seed)
+	default:
+		return nil, fmt.Errorf("unknown generator %q", kind)
+	}
+}
+
+func printStats(out io.Writer, g *graph.Graph) {
+	st := g.ComputeStats()
+	fmt.Fprintf(out, "vertices:     %d\n", st.Vertices)
+	fmt.Fprintf(out, "edges:        %d\n", st.Edges)
+	fmt.Fprintf(out, "avg degree:   %.2f\n", st.AvgDeg)
+	fmt.Fprintf(out, "max in-deg:   %d\n", st.MaxInDeg)
+	fmt.Fprintf(out, "max out-deg:  %d\n", st.MaxOutDeg)
+	fmt.Fprintf(out, "degree skew:  %.2f\n", st.DegreeSkew)
+	fmt.Fprintf(out, "self loops:   %d\n", st.SelfLoops)
+	fmt.Fprintf(out, "zero in-deg:  %d\n", st.ZeroInDeg)
+	fmt.Fprintf(out, "zero out-deg: %d\n", st.ZeroOutDeg)
+	fmt.Fprintf(out, "isolated:     %d\n", st.Isolated)
+	fmt.Fprintf(out, "reciprocity:  %.3f\n", st.Reciprocity)
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ndgraph/internal/graph"
+	"ndgraph/internal/loader"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	for _, kind := range []string{"rmat", "er", "pa", "banded", "grid", "ring", "chain", "star", "complete", "dataset"} {
+		g, err := generate(kind, 64, 256, 4, 8, 8, 8, false, "web-google", 2000, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	if _, err := generate("zap", 1, 1, 1, 1, 1, 1, false, "", 1, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestRunStatsOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-kind", "ring", "-n", "12"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "vertices:     12") || !strings.Contains(out, "edges:        12") {
+		t.Fatalf("stats output:\n%s", out)
+	}
+}
+
+func TestRunWriteAndInspect(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.bin")
+	var sb strings.Builder
+	if err := run([]string{"-kind", "grid", "-rows", "5", "-cols", "5", "-o", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote") {
+		t.Fatalf("output:\n%s", sb.String())
+	}
+	g, err := loader.LoadFile(path, graph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 25 {
+		t.Fatalf("round trip N = %d", g.N())
+	}
+	// Inspect mode.
+	sb.Reset()
+	if err := run([]string{"-i", path, "-stats"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "vertices:     25") {
+		t.Fatalf("inspect output:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-kind", "zap"}, &sb); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run([]string{"-i", "/nonexistent/file.txt"}, &sb); err == nil {
+		t.Error("missing input accepted")
+	}
+	if err := run([]string{"-kind", "dataset", "-dataset", "nope"}, &sb); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}

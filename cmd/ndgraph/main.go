@@ -1,0 +1,226 @@
+// Command ndgraph runs one graph algorithm on one graph under a chosen
+// scheduler, atomicity mode, and thread count, and reports the run
+// statistics — the CLI face of the library.
+//
+// Examples:
+//
+//	ndgraph -algo wcc -dataset web-google -scale 100 \
+//	        -sched nondet -mode arch -threads 8
+//	ndgraph -algo pagerank -graph my-edges.txt -eps 1e-4 -sched det -top 10
+//	ndgraph -algo sssp -dataset cage15 -scale 200 -probe
+//
+// Input is either -graph FILE (edge list, .bin, or .mtx) or -dataset NAME
+// with -scale (a synthetic analog of one of the paper's graphs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"ndgraph/internal/algorithms"
+	"ndgraph/internal/core"
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/gen"
+	"ndgraph/internal/graph"
+	"ndgraph/internal/loader"
+	"ndgraph/internal/metrics"
+	"ndgraph/internal/sched"
+	"ndgraph/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ndgraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ndgraph", flag.ContinueOnError)
+	algoName := fs.String("algo", "wcc", "algorithm: pagerank, wcc, sssp, bfs, spmv, kcore, labelprop, coloring")
+	graphFile := fs.String("graph", "", "graph file (edge list, .bin, or .mtx)")
+	dataset := fs.String("dataset", "", "synthetic dataset analog: web-berkstan, web-google, soc-livejournal1, cage15")
+	scale := fs.Int("scale", 100, "dataset scale divisor (with -dataset)")
+	seed := fs.Uint64("seed", 42, "random seed (graph synthesis, SSSP weights)")
+	schedName := fs.String("sched", "det", "scheduler: det, nondet, sync, chromatic, dig")
+	modeName := fs.String("mode", "atomic", "edge atomicity: seq, lock, arch, atomic")
+	threads := fs.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+	eps := fs.Float64("eps", 1e-3, "convergence threshold ε (pagerank, spmv)")
+	source := fs.Int("source", -1, "traversal source vertex (-1 = highest out-degree)")
+	top := fs.Int("top", 0, "print the top-K vertices by result value")
+	probe := fs.Bool("probe", false, "probe conflicts and print the eligibility verdict instead of timing")
+	amplify := fs.Bool("amplify", false, "inject scheduling yields to widen race windows")
+	census := fs.Bool("census", false, "count observed conflicts during the run")
+	dispatch := fs.String("dispatch", "static", "intra-iteration dispatch: static (Fig. 1 blocks) or dynamic (chunked)")
+	tracePath := fs.String("trace", "", "write the execution path as CSV to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := loadInput(*graphFile, *dataset, *scale, *seed)
+	if err != nil {
+		return err
+	}
+	st := g.ComputeStats()
+	fmt.Fprintf(out, "graph: %d vertices, %d edges (max in %d, max out %d)\n",
+		st.Vertices, st.Edges, st.MaxInDeg, st.MaxOutDeg)
+
+	src := uint32(0)
+	if *source >= 0 {
+		if *source >= g.N() {
+			return fmt.Errorf("source %d out of range (|V| = %d)", *source, g.N())
+		}
+		src = uint32(*source)
+	} else {
+		src = pickSource(g)
+	}
+
+	a, err := makeAlgorithm(*algoName, g, src, *eps, *seed)
+	if err != nil {
+		return err
+	}
+
+	if *probe {
+		profile, verdict, err := algorithms.Probe(a, g)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nalgorithm: %s\npotential conflicts: %d read-write edge(s), %d write-write edge(s)\n%s\n",
+			a.Name(), profile.RW, profile.WW, verdict)
+		return nil
+	}
+
+	kind, err := sched.ParseKind(*schedName)
+	if err != nil {
+		return err
+	}
+	mode, err := edgedata.ParseMode(*modeName)
+	if err != nil {
+		return err
+	}
+	disp, ok := sched.ParseDispatch(*dispatch)
+	if !ok {
+		return fmt.Errorf("unknown dispatch policy %q", *dispatch)
+	}
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.NewRecorder(1 << 22)
+	}
+	eng, res, err := algorithms.Run(a, g, core.Options{
+		Scheduler:    kind,
+		Threads:      *threads,
+		Mode:         mode,
+		Amplify:      *amplify,
+		EnableCensus: *census,
+		Dispatch:     disp,
+		Trace:        rec,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nalgorithm: %s  scheduler: %s  mode: %s  threads: %d\n",
+		a.Name(), kind, mode, eng.Options().Threads)
+	fmt.Fprintf(out, "converged: %v  iterations: %d  updates: %d  time: %v\n",
+		res.Converged, res.Iterations, res.Updates, res.Duration)
+	if *census {
+		fmt.Fprintf(out, "observed conflicts: %d read-write, %d write-write edge(s)\n",
+			res.RWConflicts, res.WWConflicts)
+	}
+	if *top > 0 {
+		printTop(out, eng, a, *top)
+	}
+	if rec != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: %d events written to %s\n", rec.Len(), *tracePath)
+	}
+	return nil
+}
+
+func loadInput(file, dataset string, scale int, seed uint64) (*graph.Graph, error) {
+	switch {
+	case file != "" && dataset != "":
+		return nil, fmt.Errorf("pass either -graph or -dataset, not both")
+	case file != "":
+		return loader.LoadFile(file, graph.Options{})
+	case dataset != "":
+		d, err := gen.ParseDataset(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return gen.Synthesize(d, scale, seed)
+	default:
+		return nil, fmt.Errorf("need -graph FILE or -dataset NAME")
+	}
+}
+
+func pickSource(g *graph.Graph) uint32 {
+	best, bestDeg := uint32(0), -1
+	for v := uint32(0); int(v) < g.N(); v++ {
+		if d := g.OutDegree(v); d > bestDeg {
+			best, bestDeg = v, d
+		}
+	}
+	return best
+}
+
+func makeAlgorithm(name string, g *graph.Graph, src uint32, eps float64, seed uint64) (algorithms.Algorithm, error) {
+	switch name {
+	case "pagerank":
+		return algorithms.NewPageRank(eps), nil
+	case "wcc":
+		return algorithms.NewWCC(), nil
+	case "sssp":
+		return algorithms.NewSSSP(g, src, seed+1), nil
+	case "bfs":
+		return algorithms.NewBFS(g, src), nil
+	case "spmv":
+		return algorithms.NewSpMV(g, eps, 0.5, seed+2), nil
+	case "kcore":
+		return algorithms.NewKCore(), nil
+	case "labelprop":
+		return algorithms.NewLabelProp(), nil
+	case "coloring":
+		return algorithms.NewColoring(), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func printTop(out io.Writer, eng *core.Engine, a algorithms.Algorithm, k int) {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+	switch alg := a.(type) {
+	case *algorithms.PageRank:
+		ranks := alg.Ranks(eng)
+		order := metrics.RankOrder(ranks)
+		fmt.Fprintln(w, "\nrank\tvertex\tscore")
+		for i := 0; i < k && i < len(order); i++ {
+			fmt.Fprintf(w, "%d\t%d\t%.6f\n", i, order[i], ranks[order[i]])
+		}
+	case *algorithms.SSSP:
+		d := alg.Distances(eng)
+		fmt.Fprintln(w, "\nvertex\tdistance")
+		for v := 0; v < k && v < len(d); v++ {
+			fmt.Fprintf(w, "%d\t%g\n", v, d[v])
+		}
+	case *algorithms.WCC:
+		labels := alg.Components(eng)
+		fmt.Fprintf(w, "\ncomponents: %d\n", algorithms.NumComponents(labels))
+		fmt.Fprintln(w, "vertex\tcomponent")
+		for v := 0; v < k && v < len(labels); v++ {
+			fmt.Fprintf(w, "%d\t%d\n", v, labels[v])
+		}
+	default:
+		fmt.Fprintln(w, "\n(-top not supported for this algorithm)")
+	}
+}

@@ -1,0 +1,3 @@
+module ndgraph
+
+go 1.22

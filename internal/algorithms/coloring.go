@@ -1,0 +1,124 @@
+package algorithms
+
+import (
+	"ndgraph/internal/core"
+	"ndgraph/internal/eligibility"
+	"ndgraph/internal/graph"
+)
+
+// Coloring is greedy vertex coloring, included as the counter-example the
+// paper's framework warns about: an algorithm that converges under
+// deterministic asynchronous execution but is NOT monotonic, so its
+// write-write conflicts are not covered by Theorem 2 and nondeterministic
+// execution may corrupt state or oscillate (cf. Nasre/Burtscher/Pingali,
+// "Atomic-free irregular computations", which the paper cites for the
+// monotonicity notion).
+//
+// Data layout: each edge word packs the colors of both endpoints — the
+// source's color in the low 32 bits, the destination's in the high 32.
+// f(v) reads its neighbors' halves, picks the smallest color unused among
+// them, and rewrites its own half of every incident edge. Updating one
+// half is a read-modify-write of the shared word, so concurrent endpoint
+// updates lose each other's halves — exactly the non-recoverable
+// corruption Theorem 2's monotonicity premise exists to exclude.
+type Coloring struct{}
+
+// NewColoring returns the greedy coloring algorithm.
+func NewColoring() *Coloring { return &Coloring{} }
+
+// Name implements Algorithm.
+func (*Coloring) Name() string { return "coloring" }
+
+// Properties implements Algorithm: converges det-async, not monotonic.
+func (*Coloring) Properties() eligibility.Properties {
+	return eligibility.Properties{
+		Name:              "coloring",
+		ConvergesDetAsync: true,
+		Monotonic:         false,
+		Convergence:       eligibility.Absolute,
+	}
+}
+
+const noColor = 0xffffffff
+
+func packColors(src, dst uint32) uint64 { return uint64(src) | uint64(dst)<<32 }
+func srcColor(w uint64) uint32          { return uint32(w) }
+func dstColor(w uint64) uint32          { return uint32(w >> 32) }
+
+// Setup marks every vertex and both halves of every edge uncolored and
+// schedules all vertices.
+func (*Coloring) Setup(e *core.Engine) {
+	for v := range e.Vertices {
+		e.Vertices[v] = uint64(noColor)
+	}
+	e.Edges.Fill(packColors(noColor, noColor))
+	e.Frontier().ScheduleAll()
+}
+
+// Update is f(v): choose the smallest color not used by any neighbor (as
+// published on the incident edges) and publish it on the vertex's halves.
+func (*Coloring) Update(ctx core.VertexView) {
+	deg := ctx.InDegree() + ctx.OutDegree()
+	used := make([]bool, deg+1)
+	note := func(c uint32) {
+		if c != noColor && int(c) < len(used) {
+			used[c] = true
+		}
+	}
+	for k := 0; k < ctx.InDegree(); k++ {
+		note(srcColor(ctx.InEdgeVal(k))) // in-neighbor publishes the src half
+	}
+	for k := 0; k < ctx.OutDegree(); k++ {
+		note(dstColor(ctx.OutEdgeVal(k))) // out-neighbor publishes the dst half
+	}
+	c := uint32(0)
+	for int(c) < len(used) && used[c] {
+		c++
+	}
+	if uint32(ctx.Vertex()) == c {
+		return // already stable with this color
+	}
+	ctx.SetVertex(uint64(c))
+	ctx.Yield()
+	// Publish: overwrite our own half, preserving the (just observed)
+	// neighbor half — the racy read-modify-write that makes this
+	// algorithm ineligible.
+	for k := 0; k < ctx.InDegree(); k++ {
+		w := ctx.InEdgeVal(k)
+		ctx.SetInEdgeVal(k, packColors(srcColor(w), c))
+	}
+	for k := 0; k < ctx.OutDegree(); k++ {
+		w := ctx.OutEdgeVal(k)
+		ctx.SetOutEdgeVal(k, packColors(c, dstColor(w)))
+	}
+}
+
+// ColorsOf decodes the vertex colors.
+func (*Coloring) ColorsOf(e *core.Engine) []uint32 {
+	out := make([]uint32, len(e.Vertices))
+	for v, w := range e.Vertices {
+		out[v] = uint32(w)
+	}
+	return out
+}
+
+// ValidColoring reports whether no two adjacent vertices share a color and
+// every vertex is colored. Self-loops are ignored.
+func ValidColoring(g *graph.Graph, colors []uint32) bool {
+	if len(colors) != g.N() {
+		return false
+	}
+	for v := uint32(0); int(v) < g.N(); v++ {
+		if colors[v] == noColor {
+			return false
+		}
+		for _, u := range g.OutNeighbors(v) {
+			if u != v && colors[u] == colors[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+var _ Algorithm = (*Coloring)(nil)

@@ -1,0 +1,199 @@
+package algorithms
+
+import (
+	"sort"
+
+	"ndgraph/internal/core"
+	"ndgraph/internal/eligibility"
+	"ndgraph/internal/graph"
+)
+
+// KCore computes the core number of every vertex (treating the graph as
+// undirected: a vertex's degree counts both in- and out-edges) by the
+// distributed h-index iteration of Montresor/De Pellegrini/Miorandi:
+// every vertex starts at its degree and repeatedly lowers its estimate to
+// the H-operator of its neighbors' estimates — the largest k such that at
+// least k neighbors have estimate ≥ k. Estimates are monotone
+// non-increasing and converge to the true core numbers.
+//
+// Edge data packs both endpoints' current estimates (source's in the low
+// 32 bits, destination's in the high 32), so — like WCC — both endpoints
+// write every shared edge and nondeterministic execution produces
+// write-write conflicts. Unlike WCC, a lost half-word is corrected not by
+// monotone re-propagation of the same value but by the task-generation
+// rule: the write that clobbered v's half also *scheduled* v, and v's next
+// update republishes its half. This exercises a recovery mode one step
+// beyond the paper's Theorem 2 proof while still satisfying its premises
+// (monotone estimates, deterministic-asynchronous convergence).
+type KCore struct{}
+
+// NewKCore returns the k-core decomposition algorithm.
+func NewKCore() *KCore { return &KCore{} }
+
+// Name implements Algorithm.
+func (*KCore) Name() string { return "kcore" }
+
+// Properties implements Algorithm.
+func (*KCore) Properties() eligibility.Properties {
+	return eligibility.Properties{
+		Name:                   "kcore",
+		ConvergesSynchronously: true,
+		ConvergesDetAsync:      true,
+		Monotonic:              true,
+		Convergence:            eligibility.Absolute,
+	}
+}
+
+// Setup initializes every vertex's estimate to its total degree and
+// publishes the initial estimates on all edges.
+func (*KCore) Setup(e *core.Engine) {
+	g := e.Graph()
+	for v := uint32(0); int(v) < g.N(); v++ {
+		e.Vertices[v] = uint64(g.Degree(v))
+	}
+	for v := uint32(0); int(v) < g.N(); v++ {
+		lo, hi := g.OutEdgeIndex(v)
+		nbrs := g.OutNeighbors(v)
+		for k := lo; k < hi; k++ {
+			dst := nbrs[k-lo]
+			e.Edges.Store(k, packEstimates(uint32(g.Degree(v)), uint32(g.Degree(dst))))
+		}
+	}
+	e.Frontier().ScheduleAll()
+}
+
+func packEstimates(src, dst uint32) uint64 { return uint64(src) | uint64(dst)<<32 }
+func srcEstimate(w uint64) uint32          { return uint32(w) }
+func dstEstimate(w uint64) uint32          { return uint32(w >> 32) }
+
+// Update is f(v): gather neighbor estimates from the incident edges,
+// apply the H-operator, lower the own estimate if needed, and republish
+// any incident-edge half that is out of date.
+func (*KCore) Update(ctx core.VertexView) {
+	deg := ctx.InDegree() + ctx.OutDegree()
+	if deg == 0 {
+		ctx.SetVertex(0)
+		return
+	}
+	// Gather neighbor estimates: in-neighbors publish the src half,
+	// out-neighbors the dst half.
+	ests := make([]uint32, 0, deg)
+	for k := 0; k < ctx.InDegree(); k++ {
+		ests = append(ests, srcEstimate(ctx.InEdgeVal(k)))
+	}
+	for k := 0; k < ctx.OutDegree(); k++ {
+		ests = append(ests, dstEstimate(ctx.OutEdgeVal(k)))
+	}
+	h := hOperator(ests)
+	cur := uint32(ctx.Vertex())
+	if h < cur {
+		cur = h
+	}
+	ctx.SetVertex(uint64(cur))
+	ctx.Yield()
+	// Publish: repair any incident half that disagrees with the current
+	// estimate (covers both fresh decreases and halves clobbered by the
+	// opposite endpoint's packed write).
+	for k := 0; k < ctx.InDegree(); k++ {
+		w := ctx.InEdgeVal(k)
+		if dstEstimate(w) != cur {
+			ctx.SetInEdgeVal(k, packEstimates(srcEstimate(w), cur))
+		}
+	}
+	for k := 0; k < ctx.OutDegree(); k++ {
+		w := ctx.OutEdgeVal(k)
+		if srcEstimate(w) != cur {
+			ctx.SetOutEdgeVal(k, packEstimates(cur, dstEstimate(w)))
+		}
+	}
+}
+
+// hOperator returns the largest k such that at least k values are >= k.
+// It sorts a scratch copy; deg is small for the graphs under study.
+func hOperator(ests []uint32) uint32 {
+	sort.Slice(ests, func(i, j int) bool { return ests[i] > ests[j] })
+	h := uint32(0)
+	for i, v := range ests {
+		if v >= uint32(i+1) {
+			h = uint32(i + 1)
+		} else {
+			break
+		}
+	}
+	return h
+}
+
+// CoreNumbers decodes the converged core number of every vertex.
+func (*KCore) CoreNumbers(e *core.Engine) []uint32 {
+	out := make([]uint32, len(e.Vertices))
+	for v, w := range e.Vertices {
+		out[v] = uint32(w)
+	}
+	return out
+}
+
+// ReferenceKCore computes exact core numbers with the classic peeling
+// algorithm (Batagelj–Zaveršnik bucket variant) on the undirected view.
+func ReferenceKCore(g *graph.Graph) []uint32 {
+	n := g.N()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := uint32(0); int(v) < n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket sort vertices by degree.
+	bins := make([]int, maxDeg+2)
+	for _, d := range deg {
+		bins[d]++
+	}
+	start := 0
+	for d := 0; d <= maxDeg; d++ {
+		c := bins[d]
+		bins[d] = start
+		start += c
+	}
+	pos := make([]int, n)
+	vert := make([]uint32, n)
+	for v := uint32(0); int(v) < n; v++ {
+		pos[v] = bins[deg[v]]
+		vert[pos[v]] = v
+		bins[deg[v]]++
+	}
+	for d := maxDeg; d > 0; d-- {
+		bins[d] = bins[d-1]
+	}
+	bins[0] = 0
+
+	core := make([]uint32, n)
+	copyDeg := append([]int(nil), deg...)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		core[v] = uint32(copyDeg[v])
+		lower := func(u uint32) {
+			if copyDeg[u] > copyDeg[v] {
+				du := copyDeg[u]
+				pu := pos[u]
+				pw := bins[du]
+				w := vert[pw]
+				if u != w {
+					pos[u], pos[w] = pw, pu
+					vert[pu], vert[pw] = w, u
+				}
+				bins[du]++
+				copyDeg[u]--
+			}
+		}
+		for _, u := range g.OutNeighbors(v) {
+			lower(u)
+		}
+		for _, u := range g.InNeighbors(v) {
+			lower(u)
+		}
+	}
+	return core
+}
+
+var _ Algorithm = (*KCore)(nil)

@@ -1,0 +1,96 @@
+package algorithms
+
+import (
+	"ndgraph/internal/core"
+	"ndgraph/internal/eligibility"
+)
+
+// LabelProp is majority-label community detection (Raghavan et al.'s
+// label propagation), included as the advisor's *second* rejection case:
+// its nondeterministic execution produces only read-write conflicts (each
+// vertex writes only its own out-edges), but neither convergence premise
+// of Theorem 1 holds — label propagation famously oscillates under the
+// synchronous model (two-coloring flip-flop on bipartite structure) and
+// has no deterministic-asynchronous convergence guarantee either (label
+// cycles are possible). The paper's sufficient conditions therefore do
+// not cover it, and the advisor says so.
+//
+// The implementation caps oscillation damage by keeping a label only when
+// it strictly beats the current one (count-wise, ties broken toward the
+// smaller label), which converges on most practical inputs — but
+// "converges on most inputs" is exactly what a sufficient condition is
+// not, hence the honest Properties declaration below.
+type LabelProp struct {
+	// MaxRounds bounds self-rescheduling; 0 means no extra bound beyond
+	// the engine's MaxIters.
+	MaxRounds int
+}
+
+// NewLabelProp returns majority label propagation.
+func NewLabelProp() *LabelProp { return &LabelProp{} }
+
+// Name implements Algorithm.
+func (*LabelProp) Name() string { return "labelprop" }
+
+// Properties implements Algorithm: no convergence premise holds.
+func (*LabelProp) Properties() eligibility.Properties {
+	return eligibility.Properties{
+		Name:                   "labelprop",
+		ConvergesSynchronously: false,
+		ConvergesDetAsync:      false,
+		Monotonic:              false,
+		Convergence:            eligibility.Absolute,
+	}
+}
+
+// Setup gives every vertex its own label and publishes it on the
+// out-edges.
+func (*LabelProp) Setup(e *core.Engine) {
+	g := e.Graph()
+	for v := range e.Vertices {
+		e.Vertices[v] = uint64(v)
+	}
+	for v := uint32(0); int(v) < g.N(); v++ {
+		lo, hi := g.OutEdgeIndex(v)
+		for k := lo; k < hi; k++ {
+			e.Edges.Store(k, uint64(v))
+		}
+	}
+	e.Frontier().ScheduleAll()
+}
+
+// Update is f(v): adopt the most frequent label among in-edges (smallest
+// label wins ties), publish on out-edges when changed.
+func (*LabelProp) Update(ctx core.VertexView) {
+	if ctx.InDegree() == 0 {
+		return
+	}
+	counts := make(map[uint64]int, ctx.InDegree())
+	for k := 0; k < ctx.InDegree(); k++ {
+		counts[ctx.InEdgeVal(k)]++
+	}
+	cur := ctx.Vertex()
+	best, bestCount := cur, counts[cur]
+	for label, c := range counts {
+		if c > bestCount || (c == bestCount && label < best) {
+			best, bestCount = label, c
+		}
+	}
+	if best == cur {
+		return
+	}
+	ctx.SetVertex(best)
+	ctx.Yield()
+	for k := 0; k < ctx.OutDegree(); k++ {
+		ctx.SetOutEdgeVal(k, best)
+	}
+}
+
+// Labels decodes the current community label of every vertex.
+func (*LabelProp) Labels(e *core.Engine) []uint64 {
+	out := make([]uint64, len(e.Vertices))
+	copy(out, e.Vertices)
+	return out
+}
+
+var _ Algorithm = (*LabelProp)(nil)

@@ -1,0 +1,105 @@
+package algorithms
+
+import (
+	"testing"
+
+	"ndgraph/internal/core"
+	"ndgraph/internal/graph"
+	"ndgraph/internal/sched"
+)
+
+func TestLabelPropNotEligible(t *testing.T) {
+	g := testGraph(t, 111)
+	profile, verdict, err := Probe(NewLabelProp(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profile.WW != 0 {
+		t.Fatalf("label propagation produced WW conflicts: %+v", profile)
+	}
+	if profile.RW == 0 {
+		t.Fatalf("label propagation produced no RW conflicts: %+v", profile)
+	}
+	if verdict.Eligible {
+		t.Fatalf("label propagation declared eligible despite missing premises: %+v", verdict)
+	}
+}
+
+func TestLabelPropProbeConvergesOnDAGLike(t *testing.T) {
+	// Probe runs to convergence deterministically; a chain converges (each
+	// vertex adopts its predecessor's label).
+	g, err := graph.Build([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, graph.Options{NumVertices: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := NewLabelProp()
+	e, res, err := Run(lp, g, core.Options{Scheduler: sched.Deterministic, MaxIters: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("chain did not converge")
+	}
+	labels := lp.Labels(e)
+	if labels[0] != 0 || labels[1] != 0 || labels[2] != 0 {
+		t.Fatalf("labels = %v, want all 0", labels)
+	}
+}
+
+func TestLabelPropSynchronousOscillates(t *testing.T) {
+	// The classic failure mode the Properties declaration encodes: under
+	// the synchronous model, a 2-cycle flip-flops labels forever. This is
+	// exactly why ConvergesSynchronously is false and the advisor rejects.
+	g, err := graph.Build([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}}, graph.Options{NumVertices: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := NewLabelProp()
+	_, res, err := Run(lp, g, core.Options{Scheduler: sched.Synchronous, Threads: 1, MaxIters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("synchronous 2-cycle converged; expected oscillation (label swap each iteration)")
+	}
+	if res.Iterations != 50 {
+		t.Fatalf("iterations = %d, want the full cap", res.Iterations)
+	}
+}
+
+func TestLabelPropDeterministicTwoCommunities(t *testing.T) {
+	// Two dense directed triangles with mutual edges; deterministic
+	// execution settles each triangle on its minimum label.
+	var es []graph.Edge
+	tri := func(a, b, c uint32) {
+		for _, p := range [][2]uint32{{a, b}, {b, a}, {b, c}, {c, b}, {a, c}, {c, a}} {
+			es = append(es, graph.Edge{Src: p[0], Dst: p[1]})
+		}
+	}
+	tri(0, 1, 2)
+	tri(3, 4, 5)
+	g, err := graph.Build(es, graph.Options{NumVertices: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := NewLabelProp()
+	e, res, err := Run(lp, g, core.Options{Scheduler: sched.Deterministic, MaxIters: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	// Each triangle settles on one uniform label from inside itself, and
+	// the two communities stay distinct (no edges connect them).
+	labels := lp.Labels(e)
+	if labels[0] != labels[1] || labels[1] != labels[2] || labels[0] > 2 {
+		t.Fatalf("triangle A labels = %v", labels[:3])
+	}
+	if labels[3] != labels[4] || labels[4] != labels[5] || labels[3] < 3 {
+		t.Fatalf("triangle B labels = %v", labels[3:])
+	}
+	if labels[0] == labels[3] {
+		t.Fatalf("communities merged: %v", labels)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package algorithms
+
+// raceEnabled mirrors edgedata's flag for test-time skipping.
+const raceEnabled = false

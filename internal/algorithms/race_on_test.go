@@ -1,0 +1,7 @@
+//go:build race
+
+package algorithms
+
+// raceEnabled mirrors edgedata's flag: tests that exercise the benign
+// word races of ModeAligned skip themselves under the race detector.
+const raceEnabled = true

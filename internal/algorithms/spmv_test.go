@@ -1,0 +1,93 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+
+	"ndgraph/internal/core"
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/metrics"
+	"ndgraph/internal/sched"
+)
+
+func TestSpMVDeterministicMatchesJacobi(t *testing.T) {
+	g := testGraph(t, 51)
+	s := NewSpMV(g, 1e-9, 0.5, 3)
+	e, res, err := Run(s, g, core.Options{Scheduler: sched.Deterministic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	got := s.Values(e)
+	want := ReferenceSpMV(g, s, 1e-12, 10000)
+	if d := metrics.LInfDistance(got, want); d > 1e-6 {
+		t.Fatalf("LInf(engine, jacobi) = %v", d)
+	}
+}
+
+func TestSpMVContractionRows(t *testing.T) {
+	g := testGraph(t, 52)
+	s := NewSpMV(g, 1e-6, 0.5, 4)
+	rowSum := make([]float64, g.N())
+	for v := uint32(0); int(v) < g.N(); v++ {
+		for _, e := range g.InEdgeIndices(v) {
+			rowSum[v] += s.Coeffs[e]
+		}
+	}
+	for v, sum := range rowSum {
+		if sum > 0.5+1e-9 {
+			t.Fatalf("row %d sums to %v > contraction", v, sum)
+		}
+	}
+}
+
+func TestSpMVNondeterministicCloseToFixedPoint(t *testing.T) {
+	g := testGraph(t, 53)
+	s := NewSpMV(g, 1e-7, 0.5, 5)
+	want := ReferenceSpMV(g, s, 1e-12, 10000)
+	e, res, err := Run(s, g, core.Options{
+		Scheduler: sched.Nondeterministic, Threads: 4, Mode: edgedata.ModeAtomic, Amplify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge (Theorem 1)")
+	}
+	if d := metrics.LInfDistance(s.Values(e), want); d > 1e-3 {
+		t.Fatalf("LInf(nondet, fixed point) = %v", d)
+	}
+}
+
+func TestSpMVConflictProfileRWOnly(t *testing.T) {
+	g := testGraph(t, 54)
+	profile, verdict, err := Probe(NewSpMV(g, 1e-6, 0.5, 6), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profile.WW != 0 {
+		t.Fatalf("SpMV produced WW conflicts: %+v", profile)
+	}
+	if !verdict.Eligible || verdict.Theorem != 1 {
+		t.Fatalf("verdict = %+v", verdict)
+	}
+}
+
+func TestSpMVValuesFinite(t *testing.T) {
+	g := testGraph(t, 55)
+	s := NewSpMV(g, 1e-6, 0.5, 7)
+	e, _, err := Run(s, g, core.Options{Scheduler: sched.Deterministic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, x := range s.Values(e) {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("value[%d] = %v", v, x)
+		}
+		if x < 0 {
+			t.Fatalf("value[%d] = %v < 0 (b >= 0, M >= 0)", v, x)
+		}
+	}
+}

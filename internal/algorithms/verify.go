@@ -1,0 +1,81 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"ndgraph/internal/core"
+	"ndgraph/internal/graph"
+)
+
+// This file provides runtime *verification* of the declared eligibility
+// properties, so the advisor need not trust an algorithm's self-report:
+// Theorem 2's monotonicity premise is checkable by observing every edge
+// write of a deterministic run.
+
+// Direction orders edge words for the monotonicity check.
+type Direction func(old, new uint64) bool
+
+// NonIncreasing accepts writes that never raise the word (WCC labels,
+// SSSP/BFS distances, k-core estimates — the Theorem 2 family).
+func NonIncreasing(old, new uint64) bool { return new <= old }
+
+// NonDecreasing accepts writes that never lower the word.
+func NonDecreasing(old, new uint64) bool { return new >= old }
+
+// MonotonicityViolation describes the first write that broke the claimed
+// direction.
+type MonotonicityViolation struct {
+	Edge     uint32
+	Old, New uint64
+}
+
+// Error implements error.
+func (v *MonotonicityViolation) Error() string {
+	return fmt.Sprintf("algorithms: edge %d written non-monotonically: %#x -> %#x", v.Edge, v.Old, v.New)
+}
+
+// VerifyMonotonicity runs a deterministically and checks that every edge
+// write satisfies dir. It returns nil when the run converged and all
+// writes were monotone, a *MonotonicityViolation when a write broke the
+// direction, and other errors for engine failures. Writes replacing an
+// initialization sentinel (the all-ones word or the +Inf float pattern)
+// are exempt: the first real value may move in any direction from a
+// sentinel.
+func VerifyMonotonicity(a Algorithm, g *graph.Graph, dir Direction) error {
+	var violation *MonotonicityViolation
+	opts := core.Options{
+		MaxIters: 1 << 12,
+		OnEdgeWrite: func(e uint32, old, new uint64) {
+			if violation != nil || isInitSentinel(old) {
+				return
+			}
+			if !dir(old, new) {
+				violation = &MonotonicityViolation{Edge: e, Old: old, New: new}
+			}
+		},
+	}
+	eng, err := core.NewEngine(g, opts)
+	if err != nil {
+		return err
+	}
+	a.Setup(eng)
+	res, err := eng.Run(a.Update)
+	if err != nil {
+		return err
+	}
+	if violation != nil {
+		return violation
+	}
+	if !res.Converged {
+		return fmt.Errorf("algorithms: %s did not converge within the verification cap", a.Name())
+	}
+	return nil
+}
+
+// isInitSentinel reports whether w is one of the library's "uninitialized"
+// edge markers: all-ones (WCC/min-label infinity) or the IEEE +Inf bit
+// pattern (distance algorithms).
+func isInitSentinel(w uint64) bool {
+	const infBits = 0x7FF0000000000000
+	return w == ^uint64(0) || w == infBits
+}

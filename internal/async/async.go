@@ -1,0 +1,254 @@
+// Package async implements the *pure* asynchronous execution model the
+// paper defers to future work ("extending the applicability of results in
+// this paper to more scenarios, such as pure asynchronous model"): no
+// iterations, no barriers — worker goroutines drain a shared work queue of
+// update tasks, and an update that writes an incident edge immediately
+// enqueues the opposite endpoint. The GRACE result the paper cites (a
+// synchronous implementation of the asynchronous model has comparable
+// runtime to pure asynchrony) can be checked empirically by comparing this
+// executor against the barrier-based engine.
+//
+// A vertex appears at most once in the queue at any moment (a pending
+// bitset dedups enqueues); clearing the pending bit *before* running the
+// update guarantees that a write arriving mid-update re-enqueues the
+// vertex, so no wakeup is lost. A second bitset of *active* claims keeps
+// two workers from running the same vertex's update concurrently — the
+// system model never overlaps an update with itself, and without the
+// claim a re-enqueued vertex could race its still-running update on the
+// vertex data word.
+package async
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndgraph/internal/core"
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/frontier"
+	"ndgraph/internal/graph"
+)
+
+// Options configures an Executor.
+type Options struct {
+	// Threads is the worker count; < 1 defaults to GOMAXPROCS.
+	Threads int
+	// Mode is the edge-store atomicity method. Multi-worker executors
+	// refuse ModeSequential.
+	Mode edgedata.Mode
+	// MaxUpdates caps the total update count (the barrier-free analog of
+	// an iteration cap); 0 means 1<<26. Exceeding it stops the run with
+	// Converged == false.
+	MaxUpdates int64
+}
+
+// Result summarizes a barrier-free run.
+type Result struct {
+	Updates   int64
+	Converged bool
+	Duration  time.Duration
+}
+
+// Executor owns the shared state of one barrier-free computation.
+type Executor struct {
+	g    *graph.Graph
+	opts Options
+
+	// Edges and Vertices mirror core.Engine's layout so algorithm Setup
+	// state can be transplanted with LoadFrom.
+	Edges    edgedata.Store
+	Vertices []uint64
+
+	pending *frontier.Bitset
+	active  *frontier.Bitset
+	queue   chan int
+	inFlite atomic.Int64
+	updates atomic.Int64
+	stopped atomic.Bool
+	seeds   []int
+}
+
+// NewExecutor builds a barrier-free executor for g.
+func NewExecutor(g *graph.Graph, opts Options) (*Executor, error) {
+	if g == nil {
+		return nil, fmt.Errorf("async: nil graph")
+	}
+	if opts.Threads < 1 {
+		opts.Threads = runtime.GOMAXPROCS(0)
+	}
+	if opts.Threads > 1 && opts.Mode == edgedata.ModeSequential {
+		return nil, fmt.Errorf("async: %d workers require a concurrent edge-data mode", opts.Threads)
+	}
+	if opts.MaxUpdates <= 0 {
+		opts.MaxUpdates = 1 << 26
+	}
+	return &Executor{
+		g:        g,
+		opts:     opts,
+		Edges:    edgedata.New(opts.Mode, g.M()),
+		Vertices: make([]uint64, g.N()),
+		pending:  frontier.NewBitset(g.N()),
+		active:   frontier.NewBitset(g.N()),
+	}, nil
+}
+
+// Graph returns the executor's graph.
+func (x *Executor) Graph() *graph.Graph { return x.g }
+
+// Seed marks v as initially scheduled.
+func (x *Executor) Seed(v uint32) { x.seeds = append(x.seeds, int(v)) }
+
+// LoadFrom transplants initial state prepared by an algorithm's Setup on a
+// barrier-based engine: vertex words, edge words, and the scheduled set
+// become this executor's initial state. The engine must be freshly set up
+// (not yet run) and share the same graph.
+func (x *Executor) LoadFrom(e *core.Engine) error {
+	if e.Graph() != x.g {
+		return fmt.Errorf("async: LoadFrom engine holds a different graph")
+	}
+	copy(x.Vertices, e.Vertices)
+	snap := e.Edges.Snapshot()
+	for i, w := range snap {
+		x.Edges.Store(uint32(i), w)
+	}
+	x.seeds = x.seeds[:0]
+	for _, v := range e.Frontier().Members() {
+		x.seeds = append(x.seeds, v)
+	}
+	return nil
+}
+
+// schedule enqueues v unless it is already pending or the run is stopping.
+func (x *Executor) schedule(v int) {
+	if x.stopped.Load() {
+		return
+	}
+	if x.pending.SetAtomic(v) {
+		x.inFlite.Add(1)
+		x.queue <- v
+	}
+}
+
+// Run drains the computation to quiescence and returns statistics. The
+// update function receives views satisfying core.VertexView, so the same
+// algorithm implementations run under both execution models.
+func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
+	if update == nil {
+		return Result{}, fmt.Errorf("async: nil update function")
+	}
+	start := time.Now()
+	res := Result{Converged: true}
+	if len(x.seeds) == 0 {
+		return res, nil
+	}
+	// Queue capacity: every vertex can be pending at most once, plus one
+	// slot per worker for re-enqueues racing the pending-bit clear.
+	x.queue = make(chan int, x.g.N()+x.opts.Threads+1)
+	x.stopped.Store(false)
+	x.inFlite.Store(0)
+	x.updates.Store(0)
+	for _, v := range x.seeds {
+		x.schedule(v)
+	}
+	if x.inFlite.Load() == 0 {
+		return res, nil
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < x.opts.Threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			view := &view{x: x}
+			for v := range x.queue {
+				x.pending.ClearAtomic(v)
+				if !x.active.SetAtomic(v) {
+					// f(v) is running on another worker right now. Repost
+					// the wakeup (transferring our in-flight unit) unless
+					// someone already re-pended it, in which case this
+					// unit is redundant and simply retires.
+					if x.pending.SetAtomic(v) {
+						x.queue <- v
+						runtime.Gosched()
+						continue
+					}
+					if x.inFlite.Add(-1) == 0 {
+						close(x.queue)
+					}
+					continue
+				}
+				if x.updates.Add(1) > x.opts.MaxUpdates {
+					x.stopped.Store(true)
+				} else {
+					view.bind(uint32(v))
+					update(view)
+				}
+				x.active.ClearAtomic(v)
+				if x.inFlite.Add(-1) == 0 {
+					close(x.queue)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	res.Updates = x.updates.Load()
+	if x.stopped.Load() {
+		res.Converged = false
+		if res.Updates > x.opts.MaxUpdates {
+			res.Updates = x.opts.MaxUpdates
+		}
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// view adapts the executor to core.VertexView. Unlike the barrier-based
+// Ctx there is no "next iteration": writes schedule the opposite endpoint
+// onto the live queue immediately.
+type view struct {
+	x      *Executor
+	v      uint32
+	inSrc  []uint32
+	inIdx  []uint32
+	outDst []uint32
+	outLo  uint32
+}
+
+func (c *view) bind(v uint32) {
+	g := c.x.g
+	c.v = v
+	c.inSrc = g.InNeighbors(v)
+	c.inIdx = g.InEdgeIndices(v)
+	c.outDst = g.OutNeighbors(v)
+	c.outLo, _ = g.OutEdgeIndex(v)
+}
+
+func (c *view) V() uint32               { return c.v }
+func (c *view) Vertex() uint64          { return c.x.Vertices[c.v] }
+func (c *view) SetVertex(w uint64)      { c.x.Vertices[c.v] = w }
+func (c *view) InDegree() int           { return len(c.inSrc) }
+func (c *view) OutDegree() int          { return len(c.outDst) }
+func (c *view) InNeighbor(k int) uint32 { return c.inSrc[k] }
+func (c *view) OutNeighbor(k int) uint32 {
+	return c.outDst[k]
+}
+func (c *view) InEdgeID(k int) uint32   { return c.inIdx[k] }
+func (c *view) OutEdgeID(k int) uint32  { return c.outLo + uint32(k) }
+func (c *view) InEdgeVal(k int) uint64  { return c.x.Edges.Load(c.inIdx[k]) }
+func (c *view) OutEdgeVal(k int) uint64 { return c.x.Edges.Load(c.outLo + uint32(k)) }
+func (c *view) ScheduleSelf()           { c.x.schedule(int(c.v)) }
+func (c *view) Yield()                  {}
+
+func (c *view) SetInEdgeVal(k int, w uint64) {
+	c.x.Edges.Store(c.inIdx[k], w)
+	c.x.schedule(int(c.inSrc[k]))
+}
+
+func (c *view) SetOutEdgeVal(k int, w uint64) {
+	c.x.Edges.Store(c.outLo+uint32(k), w)
+	c.x.schedule(int(c.outDst[k]))
+}
+
+var _ core.VertexView = (*view)(nil)

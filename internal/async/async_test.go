@@ -1,0 +1,247 @@
+package async
+
+import (
+	"testing"
+
+	"ndgraph/internal/algorithms"
+	"ndgraph/internal/core"
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/gen"
+	"ndgraph/internal/graph"
+	"ndgraph/internal/metrics"
+)
+
+// runAsync sets an algorithm up on a scratch barrier-based engine, then
+// transplants the initial state into a barrier-free executor and drains it.
+func runAsync(t *testing.T, a algorithms.Algorithm, g *graph.Graph, opts Options) (*Executor, Result) {
+	t.Helper()
+	e, err := core.NewEngine(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Setup(e)
+	x, err := NewExecutor(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.LoadFrom(e); err != nil {
+		t.Fatal(err)
+	}
+	res, err := x.Run(a.Update)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x, res
+}
+
+func TestNewExecutorValidation(t *testing.T) {
+	g, _ := gen.Ring(4)
+	if _, err := NewExecutor(nil, Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := NewExecutor(g, Options{Threads: 4, Mode: edgedata.ModeSequential}); err == nil {
+		t.Error("multi-worker sequential mode accepted")
+	}
+}
+
+func TestRunNilUpdate(t *testing.T) {
+	g, _ := gen.Ring(4)
+	x, err := NewExecutor(g, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Run(nil); err == nil {
+		t.Fatal("nil update accepted")
+	}
+}
+
+func TestEmptySeedsConverges(t *testing.T) {
+	g, _ := gen.Ring(4)
+	x, err := NewExecutor(g, Options{Threads: 2, Mode: edgedata.ModeAtomic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := x.Run(func(core.VertexView) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Updates != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestLoadFromRejectsOtherGraph(t *testing.T) {
+	g1, _ := gen.Ring(4)
+	g2, _ := gen.Ring(4)
+	e, err := core.NewEngine(g1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := NewExecutor(g2, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.LoadFrom(e); err == nil {
+		t.Fatal("cross-graph LoadFrom accepted")
+	}
+}
+
+func TestAsyncWCCIdenticalToReference(t *testing.T) {
+	g, err := gen.RMAT(400, 2400, gen.DefaultRMAT, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcc := algorithms.NewWCC()
+	want := algorithms.ReferenceWCC(g)
+	for _, threads := range []int{1, 4, 8} {
+		x, res := runAsync(t, wcc, g, Options{Threads: threads, Mode: edgedata.ModeAtomic})
+		if !res.Converged {
+			t.Fatalf("threads=%d: did not converge", threads)
+		}
+		for v := range want {
+			if uint32(x.Vertices[v]) != want[v] {
+				t.Fatalf("threads=%d: vertex %d = %d, want %d", threads, v, x.Vertices[v], want[v])
+			}
+		}
+	}
+}
+
+func TestAsyncBFSIdenticalToReference(t *testing.T) {
+	g, err := gen.Grid(8, 8, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := algorithms.NewBFS(g, 0)
+	x, res := runAsync(t, b, g, Options{Threads: 4, Mode: edgedata.ModeAtomic})
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			got := edgedata.ToFloat64(x.Vertices[r*8+c])
+			if got != float64(r+c) {
+				t.Fatalf("dist[%d,%d] = %v, want %d", r, c, got, r+c)
+			}
+		}
+	}
+}
+
+func TestAsyncSSSPMatchesDijkstra(t *testing.T) {
+	g, err := gen.RMAT(300, 1800, gen.DefaultRMAT, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := algorithms.NewSSSP(g, 1, 9)
+	want := algorithms.ReferenceSSSP(g, 1, s.Weights)
+	x, res := runAsync(t, s, g, Options{Threads: 4, Mode: edgedata.ModeAtomic})
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	for v := range want {
+		if got := edgedata.ToFloat64(x.Vertices[v]); got != want[v] {
+			t.Fatalf("dist[%d] = %v, want %v", v, got, want[v])
+		}
+	}
+}
+
+func TestAsyncPageRankCloseToFixedPoint(t *testing.T) {
+	g, err := gen.RMAT(300, 1800, gen.DefaultRMAT, 73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := algorithms.NewPageRank(1e-6)
+	want := algorithms.ReferencePageRank(g, pr.Damping, 1e-10, 10000)
+	x, res := runAsync(t, pr, g, Options{Threads: 4, Mode: edgedata.ModeAtomic})
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	got := make([]float64, g.N())
+	for v := range got {
+		got[v] = edgedata.ToFloat64(x.Vertices[v])
+	}
+	if d := metrics.LInfDistance(got, want); d > 0.05 {
+		t.Fatalf("LInf = %v", d)
+	}
+}
+
+func TestMaxUpdatesCap(t *testing.T) {
+	g, err := gen.Ring(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcc := algorithms.NewWCC()
+	x, res := runAsync(t, wcc, g, Options{Threads: 2, Mode: edgedata.ModeAtomic, MaxUpdates: 10})
+	if res.Converged {
+		t.Fatal("capped run reported convergence")
+	}
+	if res.Updates > 10 {
+		t.Fatalf("Updates = %d beyond cap", res.Updates)
+	}
+	_ = x
+}
+
+func TestSeedAPI(t *testing.T) {
+	g, _ := gen.Chain(3)
+	x, err := NewExecutor(g, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Min-label over a chain seeded at vertex 0 only.
+	for v := range x.Vertices {
+		x.Vertices[v] = uint64(v)
+	}
+	x.Edges.Fill(^uint64(0))
+	x.Seed(0)
+	update := func(ctx core.VertexView) {
+		min := ctx.Vertex()
+		for k := 0; k < ctx.InDegree(); k++ {
+			if w := ctx.InEdgeVal(k); w < min {
+				min = w
+			}
+		}
+		ctx.SetVertex(min)
+		for k := 0; k < ctx.OutDegree(); k++ {
+			if ctx.OutEdgeVal(k) > min {
+				ctx.SetOutEdgeVal(k, min)
+			}
+		}
+	}
+	res, err := x.Run(update)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	for v, w := range x.Vertices {
+		if w != 0 {
+			t.Fatalf("vertex %d = %d", v, w)
+		}
+	}
+}
+
+func BenchmarkAsyncWCC(b *testing.B) {
+	g, err := gen.RMAT(2000, 16000, gen.DefaultRMAT, 74)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wcc := algorithms.NewWCC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := core.NewEngine(g, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wcc.Setup(e)
+		x, err := NewExecutor(g, Options{Threads: 4, Mode: edgedata.ModeAtomic})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := x.LoadFrom(e); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := x.Run(wcc.Update); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

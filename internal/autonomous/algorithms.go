@@ -1,0 +1,101 @@
+package autonomous
+
+import (
+	"math"
+
+	"ndgraph/internal/core"
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/graph"
+)
+
+// SSSP runs single-source shortest paths under autonomous scheduling with
+// priority = candidate distance. The smallest-distance-first order makes
+// each vertex settle on its first execution — Dijkstra's algorithm
+// recovered as a scheduling policy. Returns distances and the run result
+// (Updates ≈ number of reachable vertices, plus decrease-key refreshes).
+func SSSP(g *graph.Graph, source uint32, weights []float64) ([]float64, Result, error) {
+	e, err := NewEngine(g, 0)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	inf := edgedata.FromFloat64(math.Inf(1))
+	for v := range e.Vertices {
+		e.Vertices[v] = inf
+	}
+	e.Vertices[source] = edgedata.FromFloat64(0)
+	e.Post(source, 0)
+
+	update := func(ctx core.VertexView, s *Scheduler) {
+		d := edgedata.ToFloat64(ctx.Vertex())
+		// Relax out-edges; improved neighbors are posted with their new
+		// candidate distance as priority.
+		for k := 0; k < ctx.OutDegree(); k++ {
+			u := ctx.OutNeighbor(k)
+			cand := d + weights[ctx.OutEdgeID(k)]
+			if cand < edgedata.ToFloat64(e.Vertices[u]) {
+				e.Vertices[u] = edgedata.FromFloat64(cand)
+				s.Post(u, cand)
+			}
+		}
+	}
+	res, err := e.Run(update)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	dist := make([]float64, g.N())
+	for v, w := range e.Vertices {
+		dist[v] = edgedata.ToFloat64(w)
+	}
+	return dist, res, nil
+}
+
+// DeltaPageRank runs residual-driven PageRank under autonomous scheduling
+// with priority = −residual (largest pending change first). Every vertex
+// accumulates a residual of incoming rank mass; executing a vertex folds
+// the residual into its rank and pushes damped shares to its successors.
+// Converges when all residuals fall below eps.
+func DeltaPageRank(g *graph.Graph, damping, eps float64) ([]float64, Result, error) {
+	e, err := NewEngine(g, 0)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	n := g.N()
+	rank := make([]float64, n)
+	residual := make([]float64, n)
+	for v := 0; v < n; v++ {
+		rank[v] = 1 - damping
+		residual[v] = 1 - damping // bootstrap residual, standard push PR
+		e.Post(uint32(v), -residual[v])
+	}
+	update := func(ctx core.VertexView, s *Scheduler) {
+		v := ctx.V()
+		r := residual[v]
+		if r < eps {
+			return
+		}
+		residual[v] = 0
+		rank[v] += r
+		out := ctx.OutDegree()
+		if out == 0 {
+			return
+		}
+		share := damping * r / float64(out)
+		for k := 0; k < out; k++ {
+			u := ctx.OutNeighbor(k)
+			residual[u] += share
+			if residual[u] >= eps {
+				s.Post(u, -residual[u])
+			}
+		}
+	}
+	res, err := e.Run(update)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	// Offset bootstrap: the push formulation accumulates (1-d) once via
+	// the initial residual on top of the (1-d) base, so rebase.
+	for v := range rank {
+		rank[v] -= 1 - damping
+	}
+	return rank, res, nil
+}

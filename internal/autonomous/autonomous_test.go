@@ -1,0 +1,203 @@
+package autonomous
+
+import (
+	"math"
+	"testing"
+
+	"ndgraph/internal/algorithms"
+	"ndgraph/internal/core"
+	"ndgraph/internal/gen"
+	"ndgraph/internal/metrics"
+	"ndgraph/internal/sched"
+)
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil, 0); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g, _ := gen.Ring(4)
+	e, err := NewEngine(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(nil); err == nil {
+		t.Error("nil update accepted")
+	}
+}
+
+func TestEmptyQueueConverges(t *testing.T) {
+	g, _ := gen.Ring(4)
+	e, err := NewEngine(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(func(core.VertexView, *Scheduler) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Updates != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSchedulerPriorityOrder(t *testing.T) {
+	s := newScheduler(10)
+	s.Post(3, 5.0)
+	s.Post(7, 1.0)
+	s.Post(1, 3.0)
+	s.Post(3, 0.5) // decrease-key
+	want := []uint32{3, 7, 1}
+	for _, w := range want {
+		if got := s.pop(); got != w {
+			t.Fatalf("pop = %d, want %d", got, w)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestSchedulerIncreaseIgnored(t *testing.T) {
+	s := newScheduler(4)
+	s.Post(2, 1.0)
+	s.Post(2, 9.0) // must not raise priority
+	s.Post(3, 2.0)
+	if got := s.pop(); got != 2 {
+		t.Fatalf("first pop = %d", got)
+	}
+}
+
+func TestAutonomousSSSPMatchesDijkstra(t *testing.T) {
+	g, err := gen.RMAT(400, 2400, gen.DefaultRMAT, 141)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := algorithms.NewSSSP(g, 3, 5)
+	want := algorithms.ReferenceSSSP(g, 3, ref.Weights)
+	dist, res, err := SSSP(g, 3, ref.Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %v, want %v", v, dist[v], want[v])
+		}
+	}
+}
+
+// The paper's claim for autonomous scheduling: the algorithm-chosen
+// execution path accelerates convergence. Distance-ordered SSSP must do
+// strictly fewer updates than the coordinated engine's iteration sweeps.
+func TestAutonomousSSSPDoesLessWork(t *testing.T) {
+	g, err := gen.RMAT(600, 4800, gen.DefaultRMAT, 142)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := algorithms.NewSSSP(g, 0, 7)
+	src := uint32(0)
+	// Pick a well-connected source.
+	for v := uint32(0); int(v) < g.N(); v++ {
+		if g.OutDegree(v) > g.OutDegree(src) {
+			src = v
+		}
+	}
+	s = algorithms.NewSSSP(g, src, 7)
+	_, coordRes, err := algorithms.Run(s, g, core.Options{Scheduler: sched.Deterministic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, autoRes, err := SSSP(g, src, s.Weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if autoRes.Updates >= coordRes.Updates {
+		t.Fatalf("autonomous did %d updates, coordinated %d — expected fewer", autoRes.Updates, coordRes.Updates)
+	}
+}
+
+func TestDeltaPageRankMatchesReference(t *testing.T) {
+	g, err := gen.RMAT(300, 1800, gen.DefaultRMAT, 143)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const damping = 0.85
+	want := algorithms.ReferencePageRank(g, damping, 1e-12, 20000)
+	rank, res, err := DeltaPageRank(g, damping, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if d := metrics.LInfDistance(rank, want); d > 1e-5 {
+		t.Fatalf("LInf(delta, reference) = %v", d)
+	}
+}
+
+func TestDeltaPageRankRanksFinite(t *testing.T) {
+	g, err := gen.PreferentialAttachment(500, 4, 144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, _, err := DeltaPageRank(g, 0.85, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range rank {
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0.15-1e-6 {
+			t.Fatalf("rank[%d] = %v", v, r)
+		}
+	}
+}
+
+func TestMaxUpdatesCap(t *testing.T) {
+	g, err := gen.Ring(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := algorithms.NewBFS(g, 0)
+	e, err := NewEngine(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf := math.Float64bits(math.Inf(1))
+	for v := range e.Vertices {
+		e.Vertices[v] = inf
+	}
+	e.Vertices[0] = 0
+	e.Post(0, 0)
+	res, err := e.Run(func(ctx core.VertexView, s *Scheduler) {
+		d := math.Float64frombits(ctx.Vertex())
+		for k := 0; k < ctx.OutDegree(); k++ {
+			u := ctx.OutNeighbor(k)
+			cand := d + ref.Weights[ctx.OutEdgeID(k)]
+			if cand < math.Float64frombits(e.Vertices[u]) {
+				e.Vertices[u] = math.Float64bits(cand)
+				s.Post(u, cand)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Updates != 5 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func BenchmarkAutonomousSSSP(b *testing.B) {
+	g, err := gen.RMAT(2000, 16000, gen.DefaultRMAT, 145)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := algorithms.NewSSSP(g, 0, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := SSSP(g, 0, s.Weights); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"runtime"
+
+	"ndgraph/internal/edgedata"
+)
+
+// Ctx is the update-function view of one vertex: the vertex's own data
+// word plus read/write access to the data words of its incident edges —
+// exactly the pull-mode scope of the paper's Algorithm 1. One Ctx exists
+// per worker and is re-bound to each vertex the worker processes; update
+// functions must not retain it across calls.
+//
+// The Set*EdgeVal methods implement the system model's task-generation
+// rule: writing an incident edge posts the opposite endpoint into the next
+// iteration's scheduled set.
+type Ctx struct {
+	eng *Engine
+	v   uint32
+
+	inSrc  []uint32 // sources of in-edges
+	inIdx  []uint32 // canonical indices of in-edges
+	outDst []uint32 // destinations of out-edges
+	outLo  uint32   // canonical index of first out-edge
+
+	// recordOnly marks a PotentialCensus replay context: reads come from
+	// the engine's pre-iteration snapshot, every access is recorded to the
+	// census, and all effects (vertex writes, edge writes, scheduling) are
+	// discarded. scratchVertex absorbs SetVertex so the replayed update
+	// still sees its own intra-update vertex writes.
+	recordOnly    bool
+	scratchVertex uint64
+
+	// writes counts edge writes performed since the last bind, for the
+	// execution-path trace.
+	writes int
+}
+
+// bind points the Ctx at vertex v.
+func (c *Ctx) bind(v uint32) {
+	g := c.eng.g
+	c.v = v
+	c.inSrc = g.InNeighbors(v)
+	c.inIdx = g.InEdgeIndices(v)
+	c.outDst = g.OutNeighbors(v)
+	c.outLo, _ = g.OutEdgeIndex(v)
+	c.writes = 0
+	if c.recordOnly {
+		c.scratchVertex = c.eng.Vertices[v]
+	}
+}
+
+// V returns the vertex this update is running on.
+func (c *Ctx) V() uint32 { return c.v }
+
+// Vertex returns the vertex's data word D_v.
+func (c *Ctx) Vertex() uint64 {
+	if c.recordOnly {
+		return c.scratchVertex
+	}
+	return c.eng.Vertices[c.v]
+}
+
+// SetVertex stores the vertex's data word. Only f(v) may write slot v, so
+// this needs no synchronization.
+func (c *Ctx) SetVertex(w uint64) {
+	if c.recordOnly {
+		c.scratchVertex = w
+		return
+	}
+	c.eng.Vertices[c.v] = w
+}
+
+// InDegree returns the number of in-edges of the vertex.
+func (c *Ctx) InDegree() int { return len(c.inSrc) }
+
+// OutDegree returns the number of out-edges of the vertex.
+func (c *Ctx) OutDegree() int { return len(c.outDst) }
+
+// InNeighbor returns the source of the k-th in-edge.
+func (c *Ctx) InNeighbor(k int) uint32 { return c.inSrc[k] }
+
+// OutNeighbor returns the destination of the k-th out-edge.
+func (c *Ctx) OutNeighbor(k int) uint32 { return c.outDst[k] }
+
+// InEdgeID returns the canonical edge index of the k-th in-edge, usable
+// against immutable side arrays (e.g. SSSP weights).
+func (c *Ctx) InEdgeID(k int) uint32 { return c.inIdx[k] }
+
+// OutEdgeID returns the canonical edge index of the k-th out-edge.
+func (c *Ctx) OutEdgeID(k int) uint32 { return c.outLo + uint32(k) }
+
+// load reads an edge word, honoring replay and BSP shadow reads.
+func (c *Ctx) load(e uint32) uint64 {
+	if c.recordOnly {
+		return c.eng.probeShadow[e]
+	}
+	if shadow := c.eng.bspShadow; shadow != nil {
+		return shadow[e]
+	}
+	return c.eng.Edges.Load(e)
+}
+
+// recording reports whether this context should feed the census: when the
+// engine runs a potential census, only the replay context records; when it
+// runs an observed census, only the real context does. Self-loop accesses
+// never record — both "endpoints" of edge (v,v) are the same update, so no
+// cross-update conflict is possible there (neighbor is the other endpoint
+// of the edge being touched).
+func (c *Ctx) recording(neighbor uint32) bool {
+	if c.eng.census == nil || neighbor == c.v {
+		return false
+	}
+	return c.recordOnly == c.eng.opts.PotentialCensus
+}
+
+// InEdgeVal reads the data word of the k-th in-edge (a gather access from
+// the destination side).
+func (c *Ctx) InEdgeVal(k int) uint64 {
+	e := c.inIdx[k]
+	if c.recording(c.inSrc[k]) {
+		c.eng.census.RecordRead(e, edgedata.SideDst)
+	}
+	return c.load(e)
+}
+
+// OutEdgeVal reads the data word of the k-th out-edge (a source-side
+// read, used by algorithms that inspect before scattering).
+func (c *Ctx) OutEdgeVal(k int) uint64 {
+	e := c.outLo + uint32(k)
+	if c.recording(c.outDst[k]) {
+		c.eng.census.RecordRead(e, edgedata.SideSrc)
+	}
+	return c.load(e)
+}
+
+// SetInEdgeVal writes the data word of the k-th in-edge and schedules its
+// source for the next iteration (task-generation rule).
+func (c *Ctx) SetInEdgeVal(k int, w uint64) {
+	e := c.inIdx[k]
+	if c.recording(c.inSrc[k]) {
+		c.eng.census.RecordWrite(e, edgedata.SideDst)
+	}
+	if c.recordOnly {
+		return
+	}
+	c.yield()
+	c.writes++
+	if obs := c.eng.opts.OnEdgeWrite; obs != nil {
+		obs(e, c.eng.Edges.Load(e), w)
+	}
+	c.eng.Edges.Store(e, w)
+	c.eng.front.Schedule(int(c.inSrc[k]))
+}
+
+// SetOutEdgeVal writes the data word of the k-th out-edge and schedules
+// its destination for the next iteration (task-generation rule).
+func (c *Ctx) SetOutEdgeVal(k int, w uint64) {
+	e := c.outLo + uint32(k)
+	if c.recording(c.outDst[k]) {
+		c.eng.census.RecordWrite(e, edgedata.SideSrc)
+	}
+	if c.recordOnly {
+		return
+	}
+	c.yield()
+	c.writes++
+	if obs := c.eng.opts.OnEdgeWrite; obs != nil {
+		obs(e, c.eng.Edges.Load(e), w)
+	}
+	c.eng.Edges.Store(e, w)
+	c.eng.front.Schedule(int(c.outDst[k]))
+}
+
+// ScheduleSelf re-posts the vertex itself for the next iteration, for
+// algorithms whose local work is not finished (rarely needed in pull
+// mode; provided for completeness).
+func (c *Ctx) ScheduleSelf() {
+	if c.recordOnly {
+		return
+	}
+	c.eng.front.Schedule(int(c.v))
+}
+
+// Yield cooperatively yields the processor between an update's gather and
+// scatter phases when Amplify is on, widening the windows in which
+// conflicting updates interleave. Algorithms may call it at their
+// gather/scatter boundary; the Set*EdgeVal methods also call it before
+// every write.
+func (c *Ctx) Yield() { c.yield() }
+
+func (c *Ctx) yield() {
+	if c.eng.opts.Amplify && !c.recordOnly {
+		runtime.Gosched()
+	}
+}

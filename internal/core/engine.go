@@ -1,0 +1,335 @@
+// Package core implements the paper's system model (Section II): a
+// vertex-centric, coordinated-scheduling graph engine that executes update
+// functions over iterations separated by barriers — the "synchronous
+// implementation of the asynchronous model".
+//
+// Per iteration n, the scheduled set S_n (a Frontier) is dispatched over P
+// worker goroutines in contiguous label blocks (Fig. 1); each worker runs
+// its updates small-label-first; writes to an edge post the opposite
+// endpoint into S_{n+1} (the task-generation rule); the engine advances to
+// iteration n+1 at the barrier and stops when S_n is empty (convergence) or
+// a configured iteration cap is hit.
+//
+// Update functions follow the pull-mode gather–compute–scatter shape of
+// Algorithm 1 in the paper: the scope of f(v) is v itself plus v's
+// incident edges; all cross-update communication flows through the
+// edge-data words of package edgedata, whose per-operation atomicity is
+// the only synchronization nondeterministic execution gets.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/frontier"
+	"ndgraph/internal/graph"
+	"ndgraph/internal/sched"
+	"ndgraph/internal/trace"
+)
+
+// UpdateFunc is a vertex update function f(v). It must confine its data
+// accesses to the Ctx it receives (vertex value + incident edge words); the
+// engine enforces nothing, but anything wider re-introduces the data races
+// the paper's model excludes.
+type UpdateFunc func(ctx VertexView)
+
+// Options configures an Engine run.
+type Options struct {
+	// Scheduler selects the execution strategy. Default Deterministic.
+	Scheduler sched.Kind
+	// Threads is the worker count P for parallel schedulers. Values < 1
+	// default to GOMAXPROCS. Deterministic execution always uses 1.
+	Threads int
+	// Mode selects the atomicity method for the edge-data store. Parallel
+	// schedulers refuse ModeSequential.
+	Mode edgedata.Mode
+	// Dispatch selects the intra-iteration work assignment for parallel
+	// schedulers: Static (the paper's Fig. 1 contiguous label blocks,
+	// default) or Dynamic (chunked work-stealing-style claims; an
+	// ablation of the system model's load-balance assumption).
+	Dispatch sched.Dispatch
+	// MaxIters caps the iteration count; 0 means the default of 1<<20.
+	// Hitting the cap returns a Result with Converged == false.
+	MaxIters int
+	// EnableCensus turns on logical conflict classification (read-write vs
+	// write-write per Section III). Adds one atomic OR per edge access.
+	EnableCensus bool
+	// PotentialCensus (implies EnableCensus) classifies *potential*
+	// conflicts instead of observed ones: before each real update, the
+	// engine replays the update against a frozen pre-iteration snapshot,
+	// recording the reads and writes it would perform if it overlapped
+	// (∥) every other update of the iteration, and discarding its effects.
+	// This is the right notion for eligibility probing — an in-order
+	// Gauss–Seidel execution can mask conflicts that a racy overlap would
+	// expose (e.g. WCC's conditional edge writes on graphs whose edges all
+	// point label-descending).
+	PotentialCensus bool
+	// Amplify injects scheduling yields between the gather and scatter
+	// phases of every update, widening race windows so that conflict and
+	// recovery paths are exercised even on machines with few cores.
+	Amplify bool
+	// RecordIters retains per-iteration statistics in Result.PerIter.
+	RecordIters bool
+	// Trace, when non-nil, records the execution path (iteration, worker,
+	// vertex, write count per update) into the given recorder. Two
+	// deterministic runs record identical paths; nondeterministic runs
+	// generally do not — the observable core of the paper's distinction.
+	Trace *trace.Recorder
+	// OnEdgeWrite, when non-nil, observes every committed edge write with
+	// the edge's canonical index and its old and new words. Intended for
+	// deterministic verification passes (e.g. the monotonicity checker);
+	// with parallel schedulers the callback must be safe for concurrent
+	// use and old values are sampled racily.
+	OnEdgeWrite func(edge uint32, old, new uint64)
+}
+
+// IterStat records one iteration's activity.
+type IterStat struct {
+	Scheduled int // |S_n|
+	RW, WW    int // conflicts classified this iteration (census only)
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Iterations  int
+	Updates     int64
+	Converged   bool
+	Duration    time.Duration
+	RWConflicts uint64 // cumulative read-write conflict edges (census only)
+	WWConflicts uint64 // cumulative write-write conflict edges (census only)
+	PerIter     []IterStat
+}
+
+// String renders the result compactly for logs and CLI output.
+func (r Result) String() string {
+	status := "converged"
+	if !r.Converged {
+		status = "NOT converged"
+	}
+	s := fmt.Sprintf("%s in %d iterations, %d updates, %v", status, r.Iterations, r.Updates, r.Duration)
+	if r.RWConflicts > 0 || r.WWConflicts > 0 {
+		s += fmt.Sprintf(" (%d RW / %d WW conflict edges)", r.RWConflicts, r.WWConflicts)
+	}
+	return s
+}
+
+// Engine binds a graph, an edge-data store, a vertex-data array, and a
+// frontier into a runnable computation. Create with NewEngine, initialize
+// state (Vertices, Edges, InitialFrontier), then call Run.
+type Engine struct {
+	g    *graph.Graph
+	opts Options
+
+	// Edges holds one mutable 64-bit word per edge (canonical index).
+	Edges edgedata.Store
+	// Vertices holds one 64-bit word per vertex. Only f(v) writes slot v
+	// and no other update reads it, so the array needs no synchronization.
+	Vertices []uint64
+
+	front  *frontier.Frontier
+	census *edgedata.Census
+
+	// bspShadow, when non-nil (Synchronous scheduler), holds the previous
+	// iteration's edge words; reads are served from it so that writes of
+	// the current iteration stay invisible until the barrier.
+	bspShadow []uint64
+
+	// probeShadow holds the pre-iteration edge words for PotentialCensus
+	// replay reads.
+	probeShadow []uint64
+
+	// chromatic coloring, computed lazily on first chromatic run.
+	colors    []uint32
+	numColors int
+
+	// curIter is the iteration currently dispatching (for tracing).
+	curIter int
+
+	workers       []Ctx
+	shadowWorkers []Ctx // record-only replicas for PotentialCensus replay
+	updates       atomic.Int64
+}
+
+// NewEngine validates opts and builds an engine for g.
+func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if opts.Threads < 1 {
+		opts.Threads = runtime.GOMAXPROCS(0)
+	}
+	if opts.Scheduler == sched.Deterministic {
+		opts.Threads = 1
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 1 << 20
+	}
+	parallel := opts.Threads > 1 && opts.Scheduler != sched.Deterministic
+	if parallel && opts.Mode == edgedata.ModeSequential {
+		return nil, fmt.Errorf("core: %v scheduler with %d threads requires a concurrent edge-data mode, not %v",
+			opts.Scheduler, opts.Threads, opts.Mode)
+	}
+	e := &Engine{
+		g:        g,
+		opts:     opts,
+		Edges:    edgedata.New(opts.Mode, g.M()),
+		Vertices: make([]uint64, g.N()),
+		front:    frontier.NewFrontier(g.N()),
+	}
+	if opts.PotentialCensus {
+		e.opts.EnableCensus = true
+	}
+	if e.opts.EnableCensus {
+		e.census = edgedata.NewCensus(g.M())
+	}
+	return e, nil
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Options returns the engine's effective options (after defaulting).
+func (e *Engine) Options() Options { return e.opts }
+
+// Frontier exposes the scheduled-vertex set for initialization: call
+// ScheduleAll for algorithms that start everywhere (PageRank, WCC) or
+// ScheduleNow(source) for traversals.
+func (e *Engine) Frontier() *frontier.Frontier { return e.front }
+
+// Reset clears vertex data, edge data, the frontier, and census state so
+// the engine can run again from scratch on the same graph.
+func (e *Engine) Reset() {
+	for i := range e.Vertices {
+		e.Vertices[i] = 0
+	}
+	e.Edges.Fill(0)
+	e.front = frontier.NewFrontier(e.g.N())
+	if e.census != nil {
+		e.census.Reset()
+	}
+	e.updates.Store(0)
+}
+
+// Run executes update to convergence under the configured scheduler and
+// returns run statistics. The frontier must have been initialized
+// (ScheduleAll or ScheduleNow); Run returns immediately with a converged
+// empty Result if nothing is scheduled.
+func (e *Engine) Run(update UpdateFunc) (Result, error) {
+	if update == nil {
+		return Result{}, fmt.Errorf("core: nil update function")
+	}
+	if e.opts.Scheduler == sched.Chromatic && e.colors == nil {
+		e.colors, e.numColors = sched.Colors(e.g)
+	}
+	if e.opts.Scheduler == sched.Synchronous && e.bspShadow == nil {
+		e.bspShadow = make([]uint64, e.g.M())
+	}
+	e.ensureWorkers()
+	e.updates.Store(0)
+
+	res := Result{Converged: true}
+	start := time.Now()
+	for e.front.Size() > 0 {
+		if res.Iterations >= e.opts.MaxIters {
+			res.Converged = false
+			break
+		}
+		if e.opts.Scheduler == sched.Synchronous {
+			e.bspShadow = e.Edges.Snapshot()
+		}
+		if e.opts.PotentialCensus {
+			e.probeShadow = e.Edges.Snapshot()
+		}
+		e.curIter = res.Iterations
+		members := e.front.Members()
+		e.dispatch(members, update)
+
+		stat := IterStat{Scheduled: len(members)}
+		if e.census != nil {
+			stat.RW, stat.WW = e.census.Tally()
+		}
+		if e.opts.RecordIters {
+			res.PerIter = append(res.PerIter, stat)
+		}
+		res.Iterations++
+		e.front.Advance()
+	}
+	res.Duration = time.Since(start)
+	res.Updates = e.updates.Load()
+	if e.census != nil {
+		res.RWConflicts, res.WWConflicts = e.census.Totals()
+	}
+	return res, nil
+}
+
+func (e *Engine) ensureWorkers() {
+	if len(e.workers) == e.opts.Threads {
+		return
+	}
+	e.workers = make([]Ctx, e.opts.Threads)
+	for i := range e.workers {
+		e.workers[i].eng = e
+	}
+	if e.opts.PotentialCensus {
+		e.shadowWorkers = make([]Ctx, e.opts.Threads)
+		for i := range e.shadowWorkers {
+			e.shadowWorkers[i].eng = e
+			e.shadowWorkers[i].recordOnly = true
+		}
+	}
+}
+
+// dispatch runs one iteration's scheduled updates under the configured
+// strategy. members is ascending; blocks inherit that order, satisfying
+// the small-label-first rule.
+func (e *Engine) dispatch(members []int, update UpdateFunc) {
+	run := func(worker, v int) {
+		if e.opts.PotentialCensus {
+			sc := &e.shadowWorkers[worker]
+			sc.bind(uint32(v))
+			update(sc)
+		}
+		ctx := &e.workers[worker]
+		ctx.bind(uint32(v))
+		update(ctx)
+		if e.opts.Trace != nil {
+			e.opts.Trace.Record(e.curIter, worker, uint32(v), ctx.writes)
+		}
+	}
+	switch e.opts.Scheduler {
+	case sched.Deterministic:
+		sched.Sequential(members, run)
+	case sched.Nondeterministic, sched.Synchronous:
+		e.parallel(members, run)
+	case sched.Chromatic:
+		for _, class := range sched.ColorClasses(members, e.colors, e.numColors) {
+			if len(class) > 0 {
+				e.parallel(class, run)
+			}
+		}
+	case sched.DIG:
+		for _, round := range sched.DIGRounds(e.g, members) {
+			e.parallel(round, run)
+		}
+	default:
+		panic(fmt.Sprintf("core: unknown scheduler %v", e.opts.Scheduler))
+	}
+	e.updates.Add(int64(len(members)))
+}
+
+// parallel dispatches one iteration's members under the configured
+// intra-iteration policy.
+func (e *Engine) parallel(members []int, run func(worker, item int)) {
+	if e.opts.Dispatch == sched.Dynamic {
+		sched.ParallelChunks(members, e.opts.Threads, sched.DefaultChunk, run)
+		return
+	}
+	sched.ParallelBlocks(members, e.opts.Threads, run)
+}
+
+// NumColors reports the chromatic scheduler's color count (0 before the
+// first chromatic run).
+func (e *Engine) NumColors() int { return e.numColors }

@@ -1,0 +1,299 @@
+// Package dist simulates distributed nondeterministic execution — the
+// last scenario of the paper's future-work list ("extending the
+// applicability of results in this paper to more scenarios, such as …
+// distributed systems, by relaxing the system model").
+//
+// The simulation partitions vertices across W workers (simulated
+// machines), each with an unbounded inbox. Monotone propagation
+// algorithms (WCC, BFS, SSSP — the Theorem 2 family) run as message
+// passing: adopting a better value broadcasts derived values along
+// out-edges. The *network* is adversarial in exactly the ways a real
+// cluster is and a shared-memory barrier is not:
+//
+//   - messages are delivered out of order (each worker processes a
+//     uniformly random pending message, seeded for reproducibility);
+//   - messages may be duplicated (configurable probability).
+//
+// Message delivery is atomic by construction, so the shared-memory
+// per-operation atomicity requirement translates to "no torn messages" —
+// trivially satisfied — and the theorem's monotonicity premise does the
+// rest: stale or duplicated messages lose to the Better test and the
+// computation converges to the same fixed point as a sequential run.
+// Dropping messages is *not* tolerated (a lost improvement is never
+// retried), mirroring the push-mode ModePlain result; the simulator
+// therefore never drops.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndgraph/internal/graph"
+	"ndgraph/internal/rng"
+)
+
+// Propagation declares a monotone message-passing computation.
+type Propagation struct {
+	// Init returns vertex v's starting value.
+	Init func(v uint32) uint64
+	// Better reports whether candidate strictly improves on current.
+	Better func(candidate, current uint64) bool
+	// Message derives the value sent along canonical edge e when the
+	// sending vertex holds val.
+	Message func(val uint64, e uint32) uint64
+	// Seeds are the vertices whose initial values are broadcast first
+	// (every vertex for WCC, the source for BFS/SSSP).
+	Seeds []uint32
+}
+
+// Options configures the simulated cluster.
+type Options struct {
+	// Workers is the number of simulated machines; < 1 = GOMAXPROCS.
+	Workers int
+	// DuplicateProb duplicates each sent message with this probability
+	// (at-least-once delivery). Must be in [0, 1).
+	DuplicateProb float64
+	// Seed drives the delivery-order scrambling and duplication.
+	Seed uint64
+	// MaxMessages caps total deliveries; 0 means 1<<26.
+	MaxMessages int64
+}
+
+// Result reports a distributed run.
+type Result struct {
+	Messages   int64 // messages delivered (including duplicates)
+	Duplicates int64 // extra deliveries injected
+	Converged  bool
+	Duration   time.Duration
+}
+
+type message struct {
+	to  uint32
+	val uint64
+}
+
+// inbox is an unbounded mailbox with random-order removal: the delivery
+// scrambler. Unbounded queues keep the simulation deadlock-free (workers
+// never block on send).
+type inbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+	closed  bool
+	r       *rng.Xoshiro256StarStar
+}
+
+func newInbox(seed uint64) *inbox {
+	ib := &inbox{r: rng.New(seed)}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) put(m message) {
+	ib.mu.Lock()
+	ib.pending = append(ib.pending, m)
+	ib.mu.Unlock()
+	ib.cond.Signal()
+}
+
+// take removes a uniformly random pending message; ok is false when the
+// inbox has been closed and drained.
+func (ib *inbox) take() (message, bool) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for len(ib.pending) == 0 && !ib.closed {
+		ib.cond.Wait()
+	}
+	if len(ib.pending) == 0 {
+		return message{}, false
+	}
+	i := ib.r.Intn(len(ib.pending))
+	last := len(ib.pending) - 1
+	m := ib.pending[i]
+	ib.pending[i] = ib.pending[last]
+	ib.pending = ib.pending[:last]
+	return m, true
+}
+
+func (ib *inbox) close() {
+	ib.mu.Lock()
+	ib.closed = true
+	ib.mu.Unlock()
+	ib.cond.Broadcast()
+}
+
+// Run executes the propagation on a simulated cluster and returns the
+// converged vertex values.
+func Run(g *graph.Graph, p Propagation, opts Options) ([]uint64, Result, error) {
+	if g == nil {
+		return nil, Result{}, fmt.Errorf("dist: nil graph")
+	}
+	if p.Init == nil || p.Better == nil || p.Message == nil {
+		return nil, Result{}, fmt.Errorf("dist: Propagation requires Init, Better, and Message")
+	}
+	if opts.DuplicateProb < 0 || opts.DuplicateProb >= 1 {
+		return nil, Result{}, fmt.Errorf("dist: DuplicateProb %v out of [0, 1)", opts.DuplicateProb)
+	}
+	if opts.Workers < 1 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Workers > g.N() && g.N() > 0 {
+		opts.Workers = g.N()
+	}
+	if opts.MaxMessages <= 0 {
+		opts.MaxMessages = 1 << 26
+	}
+
+	n := g.N()
+	values := make([]uint64, n)
+	for v := uint32(0); int(v) < n; v++ {
+		values[v] = p.Init(v)
+	}
+	res := Result{Converged: true}
+	if n == 0 || len(p.Seeds) == 0 {
+		return values, res, nil
+	}
+
+	W := opts.Workers
+	ownerOf := func(v uint32) int { return int(v) * W / n }
+	inboxes := make([]*inbox, W)
+	for w := range inboxes {
+		inboxes[w] = newInbox(rng.Mix64(opts.Seed + uint64(w)))
+	}
+
+	var inflight, delivered, dups atomic.Int64
+	var stopped atomic.Bool
+	start := time.Now()
+
+	// send routes a message (possibly duplicated) to its owner's inbox.
+	// The caller must hold its own rng for the duplication draw.
+	send := func(m message, r *rng.Xoshiro256StarStar) {
+		if stopped.Load() {
+			return
+		}
+		copies := 1
+		if opts.DuplicateProb > 0 && r.Float64() < opts.DuplicateProb {
+			copies = 2
+			dups.Add(1)
+		}
+		for c := 0; c < copies; c++ {
+			inflight.Add(1)
+			inboxes[ownerOf(m.to)].put(m)
+		}
+	}
+
+	// broadcast sends v's current value along all its out-edges.
+	broadcast := func(v uint32, val uint64, r *rng.Xoshiro256StarStar) {
+		lo, _ := g.OutEdgeIndex(v)
+		for k, d := range g.OutNeighbors(v) {
+			send(message{to: d, val: p.Message(val, lo+uint32(k))}, r)
+		}
+	}
+
+	// Seed the system.
+	seedRng := rng.New(rng.Mix64(opts.Seed ^ 0x5eed))
+	for _, v := range p.Seeds {
+		broadcast(v, values[v], seedRng)
+	}
+	if inflight.Load() == 0 {
+		return values, res, nil
+	}
+
+	var wg sync.WaitGroup
+	closeAll := func() {
+		for _, ib := range inboxes {
+			ib.close()
+		}
+	}
+	for w := 0; w < W; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(rng.Mix64(opts.Seed + 0x9e37 + uint64(w)))
+			for {
+				m, ok := inboxes[w].take()
+				if !ok {
+					return
+				}
+				if delivered.Add(1) > opts.MaxMessages {
+					stopped.Store(true)
+				} else if p.Better(m.val, values[m.to]) {
+					// Only the owner worker touches values[m.to], so the
+					// adopt is race-free.
+					values[m.to] = m.val
+					broadcast(m.to, m.val, r)
+				}
+				if inflight.Add(-1) == 0 {
+					closeAll()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	res.Messages = delivered.Load()
+	res.Duplicates = dups.Load()
+	if stopped.Load() {
+		res.Converged = false
+		if res.Messages > opts.MaxMessages {
+			res.Messages = opts.MaxMessages
+		}
+	}
+	res.Duration = time.Since(start)
+	return values, res, nil
+}
+
+// WCC runs distributed weakly-connected components (labels travel both
+// directions, so the graph is symmetrized first).
+func WCC(g *graph.Graph, opts Options) ([]uint32, Result, error) {
+	u := g.Undirected()
+	seeds := make([]uint32, u.N())
+	for i := range seeds {
+		seeds[i] = uint32(i)
+	}
+	vals, res, err := Run(u, Propagation{
+		Init:    func(v uint32) uint64 { return uint64(v) },
+		Better:  func(c, cur uint64) bool { return c < cur },
+		Message: func(val uint64, _ uint32) uint64 { return val },
+		Seeds:   seeds,
+	}, opts)
+	if err != nil {
+		return nil, res, err
+	}
+	labels := make([]uint32, len(vals))
+	for v, w := range vals {
+		labels[v] = uint32(w)
+	}
+	return labels, res, nil
+}
+
+// SSSP runs distributed single-source shortest paths over the given
+// per-edge weights (canonical edge order of g).
+func SSSP(g *graph.Graph, source uint32, weights []float64, opts Options) ([]float64, Result, error) {
+	infBits := math.Float64bits(math.Inf(1))
+	vals, res, err := Run(g, Propagation{
+		Init: func(v uint32) uint64 {
+			if v == source {
+				return 0
+			}
+			return infBits
+		},
+		Better: func(c, cur uint64) bool { return math.Float64frombits(c) < math.Float64frombits(cur) },
+		Message: func(val uint64, e uint32) uint64 {
+			return math.Float64bits(math.Float64frombits(val) + weights[e])
+		},
+		Seeds: []uint32{source},
+	}, opts)
+	if err != nil {
+		return nil, res, err
+	}
+	dist := make([]float64, len(vals))
+	for v, w := range vals {
+		dist[v] = math.Float64frombits(w)
+	}
+	return dist, res, nil
+}

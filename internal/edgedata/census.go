@@ -1,0 +1,132 @@
+package edgedata
+
+import "sync/atomic"
+
+// Side identifies which endpoint of an edge an access came from. An edge
+// (u→v) can only ever be touched by the update functions of its two
+// endpoints: f(u) reaches it as an out-edge (SideSrc) and f(v) as an
+// in-edge (SideDst). Recording the side therefore identifies the accessing
+// update without tracking thread IDs.
+type Side int
+
+const (
+	// SideSrc marks an access by the update function of the edge's source.
+	SideSrc Side = iota
+	// SideDst marks an access by the update function of the edge's
+	// destination.
+	SideDst
+)
+
+// Per-edge census flags, 4 bits per edge packed 8 edges to a uint32.
+const (
+	censusReadSrc = 1 << iota
+	censusReadDst
+	censusWriteSrc
+	censusWriteDst
+	censusBits      = 4
+	censusPerWord   = 32 / censusBits
+	censusFlagsMask = 1<<censusBits - 1
+)
+
+// Census classifies the *logical* conflicts of one iteration: a read-write
+// conflict is an edge read by one of its endpoint updates and written by
+// the other within the same iteration; a write-write conflict is an edge
+// written by both endpoint updates. This is the paper's Section III notion
+// of "competing operations to the edges" — it depends on the algorithm's
+// access pattern and the scheduled set, not on accidental timing, so it is
+// reproducible even on a single-core machine.
+//
+// RecordRead and RecordWrite are safe for concurrent use; Tally and Reset
+// must only run at a barrier.
+type Census struct {
+	flags []uint32 // atomic; censusBits flags per edge
+
+	rw atomic.Uint64 // cumulative read-write conflict edges
+	ww atomic.Uint64 // cumulative write-write conflict edges
+}
+
+// NewCensus returns a Census for m edges.
+func NewCensus(m int) *Census {
+	return &Census{flags: make([]uint32, (m+censusPerWord-1)/censusPerWord)}
+}
+
+func (c *Census) or(e uint32, bit uint32) {
+	w := e / censusPerWord
+	shift := (e % censusPerWord) * censusBits
+	mask := bit << shift
+	addr := &c.flags[w]
+	for {
+		old := atomic.LoadUint32(addr)
+		if old&mask != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint32(addr, old, old|mask) {
+			return
+		}
+	}
+}
+
+// RecordRead notes that edge e was read from the given side.
+func (c *Census) RecordRead(e uint32, side Side) {
+	if side == SideSrc {
+		c.or(e, censusReadSrc)
+	} else {
+		c.or(e, censusReadDst)
+	}
+}
+
+// RecordWrite notes that edge e was written from the given side.
+func (c *Census) RecordWrite(e uint32, side Side) {
+	if side == SideSrc {
+		c.or(e, censusWriteSrc)
+	} else {
+		c.or(e, censusWriteDst)
+	}
+}
+
+// Tally scans the iteration's flags, adds the classified conflicts to the
+// cumulative totals, clears the flags, and returns the per-iteration
+// counts. Call exactly once per iteration, at the barrier.
+func (c *Census) Tally() (rw, ww int) {
+	for w := range c.flags {
+		word := atomic.LoadUint32(&c.flags[w])
+		if word == 0 {
+			continue
+		}
+		atomic.StoreUint32(&c.flags[w], 0)
+		for i := 0; i < censusPerWord; i++ {
+			f := (word >> (uint32(i) * censusBits)) & censusFlagsMask
+			if f == 0 {
+				continue
+			}
+			readSrc := f&censusReadSrc != 0
+			readDst := f&censusReadDst != 0
+			writeSrc := f&censusWriteSrc != 0
+			writeDst := f&censusWriteDst != 0
+			if writeSrc && writeDst {
+				ww++
+			} else if (readSrc && writeDst) || (readDst && writeSrc) {
+				// Note: an endpoint reading and writing its own side (e.g.
+				// WCC's read-compare-write in one update) is not a
+				// conflict; only cross-side read/write pairs are.
+				rw++
+			}
+		}
+	}
+	c.rw.Add(uint64(rw))
+	c.ww.Add(uint64(ww))
+	return rw, ww
+}
+
+// Totals returns the cumulative conflict-edge counts across all tallied
+// iterations.
+func (c *Census) Totals() (rw, ww uint64) { return c.rw.Load(), c.ww.Load() }
+
+// Reset clears both the per-iteration flags and the cumulative totals.
+func (c *Census) Reset() {
+	for w := range c.flags {
+		atomic.StoreUint32(&c.flags[w], 0)
+	}
+	c.rw.Store(0)
+	c.ww.Store(0)
+}

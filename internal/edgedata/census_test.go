@@ -1,0 +1,131 @@
+package edgedata
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCensusNoAccessesNoConflicts(t *testing.T) {
+	c := NewCensus(100)
+	rw, ww := c.Tally()
+	if rw != 0 || ww != 0 {
+		t.Fatalf("empty census tallied rw=%d ww=%d", rw, ww)
+	}
+}
+
+func TestCensusSameSideReadWriteIsNotConflict(t *testing.T) {
+	// WCC-style: the source endpoint reads then writes its own edge.
+	c := NewCensus(10)
+	c.RecordRead(3, SideSrc)
+	c.RecordWrite(3, SideSrc)
+	rw, ww := c.Tally()
+	if rw != 0 || ww != 0 {
+		t.Fatalf("same-side read+write classified as conflict: rw=%d ww=%d", rw, ww)
+	}
+}
+
+func TestCensusReadWriteConflict(t *testing.T) {
+	// PageRank-style: source writes (scatter), destination reads (gather).
+	c := NewCensus(10)
+	c.RecordWrite(5, SideSrc)
+	c.RecordRead(5, SideDst)
+	rw, ww := c.Tally()
+	if rw != 1 || ww != 0 {
+		t.Fatalf("rw=%d ww=%d, want rw=1 ww=0", rw, ww)
+	}
+	// Mirror orientation.
+	c.RecordRead(6, SideSrc)
+	c.RecordWrite(6, SideDst)
+	rw, ww = c.Tally()
+	if rw != 1 || ww != 0 {
+		t.Fatalf("mirror: rw=%d ww=%d, want rw=1 ww=0", rw, ww)
+	}
+}
+
+func TestCensusWriteWriteConflict(t *testing.T) {
+	// WCC-style: both endpoints write the shared edge.
+	c := NewCensus(10)
+	c.RecordWrite(2, SideSrc)
+	c.RecordWrite(2, SideDst)
+	c.RecordRead(2, SideSrc) // reads do not downgrade a WW conflict
+	rw, ww := c.Tally()
+	if rw != 0 || ww != 1 {
+		t.Fatalf("rw=%d ww=%d, want rw=0 ww=1", rw, ww)
+	}
+}
+
+func TestCensusTallyClearsFlags(t *testing.T) {
+	c := NewCensus(10)
+	c.RecordWrite(1, SideSrc)
+	c.RecordRead(1, SideDst)
+	c.Tally()
+	rw, ww := c.Tally()
+	if rw != 0 || ww != 0 {
+		t.Fatalf("flags survived Tally: rw=%d ww=%d", rw, ww)
+	}
+}
+
+func TestCensusTotalsAccumulate(t *testing.T) {
+	c := NewCensus(100)
+	for iter := 0; iter < 3; iter++ {
+		c.RecordWrite(1, SideSrc)
+		c.RecordRead(1, SideDst)
+		c.RecordWrite(2, SideSrc)
+		c.RecordWrite(2, SideDst)
+		c.Tally()
+	}
+	rw, ww := c.Totals()
+	if rw != 3 || ww != 3 {
+		t.Fatalf("Totals = (%d,%d), want (3,3)", rw, ww)
+	}
+	c.Reset()
+	if rw, ww := c.Totals(); rw != 0 || ww != 0 {
+		t.Fatal("Reset did not clear totals")
+	}
+}
+
+func TestCensusPackedNeighborsIndependent(t *testing.T) {
+	// Edges 0..7 share one packed word; flags must not bleed.
+	c := NewCensus(8)
+	c.RecordWrite(0, SideSrc)
+	c.RecordWrite(0, SideDst)
+	c.RecordWrite(1, SideSrc)
+	c.RecordRead(1, SideDst)
+	c.RecordRead(2, SideSrc)
+	rw, ww := c.Tally()
+	if rw != 1 || ww != 1 {
+		t.Fatalf("rw=%d ww=%d, want rw=1 ww=1", rw, ww)
+	}
+}
+
+func TestCensusConcurrentRecording(t *testing.T) {
+	const edges = 1000
+	c := NewCensus(edges)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for e := uint32(0); e < edges; e++ {
+			c.RecordWrite(e, SideSrc)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for e := uint32(0); e < edges; e++ {
+			c.RecordWrite(e, SideDst)
+		}
+	}()
+	wg.Wait()
+	_, ww := c.Tally()
+	if ww != edges {
+		t.Fatalf("ww = %d, want %d", ww, edges)
+	}
+}
+
+func BenchmarkCensusRecordWrite(b *testing.B) {
+	c := NewCensus(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.RecordWrite(uint32(i)&(1<<16-1), SideSrc)
+	}
+}

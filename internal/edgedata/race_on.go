@@ -1,0 +1,9 @@
+//go:build race
+
+package edgedata
+
+// raceEnabled reports whether the race detector is active in this build.
+// The ModeAligned store performs deliberate benign word races (the paper's
+// architecture-support atomicity method); tests that exercise those races
+// consult this flag to skip themselves under -race.
+const raceEnabled = true

@@ -1,0 +1,108 @@
+package eligibility
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNoConflictsTriviallyEligible(t *testing.T) {
+	v := Advise(Properties{Name: "x"}, ConflictProfile{})
+	if !v.Eligible || v.Theorem != 1 {
+		t.Fatalf("verdict = %+v", v)
+	}
+}
+
+func TestPageRankProfileTheorem1(t *testing.T) {
+	p := Properties{
+		Name:                   "pagerank",
+		ConvergesSynchronously: true,
+		ConvergesDetAsync:      true,
+		Monotonic:              false,
+		Convergence:            Approximate,
+	}
+	v := Advise(p, ConflictProfile{RW: 1000})
+	if !v.Eligible || v.Theorem != 1 {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if v.DeterministicResults {
+		t.Fatal("approximate-convergence algorithm flagged as reproducible")
+	}
+	if !strings.Contains(v.String(), "Theorem 1") {
+		t.Fatalf("String() = %q", v.String())
+	}
+}
+
+func TestWCCProfileTheorem2(t *testing.T) {
+	p := Properties{
+		Name:              "wcc",
+		ConvergesDetAsync: true,
+		Monotonic:         true,
+		Convergence:       Absolute,
+	}
+	v := Advise(p, ConflictProfile{RW: 10, WW: 500})
+	if !v.Eligible || v.Theorem != 2 {
+		t.Fatalf("verdict = %+v", v)
+	}
+	if !v.DeterministicResults {
+		t.Fatal("monotone absolute algorithm not flagged reproducible")
+	}
+}
+
+func TestNonMonotoneWithWWNotEligible(t *testing.T) {
+	p := Properties{
+		Name:              "coloring",
+		ConvergesDetAsync: true,
+		Monotonic:         false,
+		Convergence:       Absolute,
+	}
+	v := Advise(p, ConflictProfile{WW: 5})
+	if v.Eligible {
+		t.Fatalf("non-monotone WW algorithm declared eligible: %+v", v)
+	}
+	if !strings.Contains(v.String(), "NOT ELIGIBLE") {
+		t.Fatalf("String() = %q", v.String())
+	}
+	if len(v.Reasons) == 0 {
+		t.Fatal("no reasons given")
+	}
+}
+
+func TestWWWithoutDetAsyncPremise(t *testing.T) {
+	p := Properties{Monotonic: true, ConvergesDetAsync: false}
+	v := Advise(p, ConflictProfile{WW: 1})
+	if v.Eligible {
+		t.Fatalf("missing det-async premise but eligible: %+v", v)
+	}
+}
+
+func TestRWOnlyViaDetAsyncExtension(t *testing.T) {
+	// The paper extends Theorem 1 to algorithms that converge under a
+	// deterministic asynchronous scheduler.
+	p := Properties{ConvergesSynchronously: false, ConvergesDetAsync: true}
+	v := Advise(p, ConflictProfile{RW: 3})
+	if !v.Eligible || v.Theorem != 1 {
+		t.Fatalf("verdict = %+v", v)
+	}
+	found := false
+	for _, r := range v.Reasons {
+		if strings.Contains(r, "deterministic asynchronous") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("extension premise not cited in reasons")
+	}
+}
+
+func TestRWOnlyNoPremiseNotEligible(t *testing.T) {
+	v := Advise(Properties{}, ConflictProfile{RW: 3})
+	if v.Eligible {
+		t.Fatalf("no-premise RW algorithm eligible: %+v", v)
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	if Absolute.String() != "absolute" || Approximate.String() != "approximate" {
+		t.Fatal("Condition.String mismatch")
+	}
+}

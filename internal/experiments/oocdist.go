@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ndgraph/internal/algorithms"
+	"ndgraph/internal/core"
+	"ndgraph/internal/dist"
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/gen"
+	"ndgraph/internal/sched"
+	"ndgraph/internal/shard"
+)
+
+// This file hosts the two remaining extension experiments: the
+// out-of-core (PSW) engine comparison against the in-memory engine, and
+// the distributed message-passing simulation of the paper's last
+// future-work scenario.
+
+// PSWRow compares in-memory and out-of-core execution of WCC.
+type PSWRow struct {
+	Graph        string
+	Shards       int
+	InMemTime    time.Duration
+	PSWTime      time.Duration
+	PSWBytesRead int64
+	Identical    bool
+}
+
+// PSWComparison runs WCC on every dataset analog with the in-memory
+// nondeterministic engine and the sharded PSW engine, verifying identical
+// results (Theorem 2 holds across storage engines) and reporting the I/O
+// volume PSW pays.
+func PSWComparison(cfg Config, workDir string) ([]PSWRow, error) {
+	cfg.validate()
+	gs, err := Graphs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if workDir == "" {
+		dir, err := os.MkdirTemp("", "ndgraph-psw-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		workDir = dir
+	}
+	var rows []PSWRow
+	for _, d := range gen.AllDatasets() {
+		g := gs[d.String()]
+		wcc := algorithms.NewWCC()
+		_, inMemRes, err := algorithms.Run(wcc, g, core.Options{
+			Scheduler: sched.Nondeterministic, Threads: 4, Mode: edgedata.ModeAtomic,
+		})
+		if err != nil {
+			return nil, err
+		}
+		want := algorithms.ReferenceWCC(g)
+
+		const shards = 4
+		st, err := shard.Build(g, fmt.Sprintf("%s/%s", workDir, d), shards)
+		if err != nil {
+			return nil, err
+		}
+		for v := range st.Vertices {
+			st.Vertices[v] = uint64(v)
+		}
+		if err := st.FillValues(^uint64(0)); err != nil {
+			return nil, err
+		}
+		e, err := shard.NewEngine(st, shard.Options{Threads: 4, Mode: edgedata.ModeAtomic})
+		if err != nil {
+			return nil, err
+		}
+		e.Frontier().ScheduleAll()
+		pswRes, err := e.Run(wcc.Update)
+		if err != nil {
+			return nil, err
+		}
+		if !inMemRes.Converged || !pswRes.Converged {
+			return nil, fmt.Errorf("experiments: PSW comparison on %s did not converge", d)
+		}
+		identical := true
+		for v := range want {
+			if uint32(st.Vertices[v]) != want[v] {
+				identical = false
+				break
+			}
+		}
+		rows = append(rows, PSWRow{
+			Graph: d.String(), Shards: shards,
+			InMemTime: inMemRes.Duration, PSWTime: pswRes.Duration,
+			PSWBytesRead: pswRes.BytesRead, Identical: identical,
+		})
+	}
+	return rows, nil
+}
+
+// DistRow reports a distributed-simulation run.
+type DistRow struct {
+	Graph      string
+	Algo       string
+	Workers    int
+	Messages   int64
+	Duplicates int64
+	Identical  bool
+	Duration   time.Duration
+}
+
+// DistComparison runs distributed WCC and SSSP (with duplication and
+// delivery reordering) on each dataset analog and checks the results
+// against the sequential references — the future-work claim that the
+// paper's monotone results carry to message-passing systems.
+func DistComparison(cfg Config) ([]DistRow, error) {
+	cfg.validate()
+	gs, err := Graphs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []DistRow
+	for _, d := range gen.AllDatasets() {
+		g := gs[d.String()]
+		opts := dist.Options{Workers: 4, Seed: cfg.Seed, DuplicateProb: 0.1}
+
+		labels, res, err := dist.WCC(g, opts)
+		if err != nil {
+			return nil, err
+		}
+		wantWCC := algorithms.ReferenceWCC(g)
+		identical := res.Converged
+		for v := range wantWCC {
+			if labels[v] != wantWCC[v] {
+				identical = false
+				break
+			}
+		}
+		rows = append(rows, DistRow{
+			Graph: d.String(), Algo: "wcc", Workers: opts.Workers,
+			Messages: res.Messages, Duplicates: res.Duplicates,
+			Identical: identical, Duration: res.Duration,
+		})
+
+		src := PickSource(g)
+		s := algorithms.NewSSSP(g, src, cfg.Seed+1)
+		distances, sres, err := dist.SSSP(g, src, s.Weights, opts)
+		if err != nil {
+			return nil, err
+		}
+		wantSSSP := algorithms.ReferenceSSSP(g, src, s.Weights)
+		identical = sres.Converged
+		for v := range wantSSSP {
+			if distances[v] != wantSSSP[v] {
+				identical = false
+				break
+			}
+		}
+		rows = append(rows, DistRow{
+			Graph: d.String(), Algo: "sssp", Workers: opts.Workers,
+			Messages: sres.Messages, Duplicates: sres.Duplicates,
+			Identical: identical, Duration: sres.Duration,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled mirrors the race build tag for test-time configuration.
+const raceEnabled = false

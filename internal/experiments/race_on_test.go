@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets experiment tests drop ModeAligned (benign races by
+// design) under the race detector.
+const raceEnabled = true

@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ndgraph/internal/algorithms"
+	"ndgraph/internal/core"
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/graph"
+	"ndgraph/internal/metrics"
+	"ndgraph/internal/sched"
+)
+
+// This file reproduces Section V-C: the run-to-run variance of PageRank
+// results under nondeterministic execution, measured as difference degrees
+// of the converged rank orderings (Tables II and III). The paper's
+// configurations are DE (deterministic) and NE with 4, 8, and 16
+// processing cores; each configuration runs 5 times.
+
+// VarianceConfigName labels a variance-study configuration.
+func VarianceConfigName(threads int, deterministic bool) string {
+	if deterministic {
+		return "DE"
+	}
+	return fmt.Sprintf("%dNE", threads)
+}
+
+// RankOrderings runs PageRank `runs` times under one configuration and
+// returns the converged rank orderings. Nondeterministic runs enable the
+// race amplifier so scheduling noise is present even on machines with few
+// cores (the paper's 16-core testbed gets such noise for free; see
+// EXPERIMENTS.md).
+func RankOrderings(g *graph.Graph, eps float64, threads int, deterministic bool, runs int) ([][]uint32, error) {
+	out := make([][]uint32, 0, runs)
+	for i := 0; i < runs; i++ {
+		pr := algorithms.NewPageRank(eps)
+		opts := core.Options{Scheduler: sched.Deterministic}
+		if !deterministic {
+			opts = core.Options{
+				Scheduler: sched.Nondeterministic,
+				Threads:   threads,
+				Mode:      edgedata.ModeAtomic,
+				Amplify:   true,
+			}
+		}
+		e, res, err := algorithms.Run(pr, g, opts)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Converged {
+			return nil, fmt.Errorf("experiments: pagerank variance run did not converge")
+		}
+		out = append(out, metrics.RankOrder(pr.Ranks(e)))
+	}
+	return out, nil
+}
+
+// VarianceRow is one line of Table II or III.
+type VarianceRow struct {
+	// Pair names the compared configurations, e.g. "4NE vs. 4NE" (Table
+	// II, within one configuration) or "DE vs. 16NE" (Table III, across
+	// configurations).
+	Pair string
+	// ByEpsilon maps each ε to the mean difference degree.
+	ByEpsilon map[float64]float64
+}
+
+// varianceConfigs are the paper's four configurations.
+type varianceConfig struct {
+	threads       int
+	deterministic bool
+}
+
+func paperVarianceConfigs() []varianceConfig {
+	return []varianceConfig{
+		{threads: 1, deterministic: true}, // DE
+		{threads: 4},                      // 4NE
+		{threads: 8},                      // 8NE
+		{threads: 16},                     // 16NE
+	}
+}
+
+// varianceOrderings gathers all runs for all configurations and epsilons:
+// result[ε][configIndex] = orderings of that configuration's runs.
+func varianceOrderings(g *graph.Graph, cfg Config) (map[float64][][][]uint32, error) {
+	cfg.validate()
+	configs := paperVarianceConfigs()
+	out := make(map[float64][][][]uint32, len(cfg.Epsilons))
+	for _, eps := range cfg.Epsilons {
+		perConfig := make([][][]uint32, len(configs))
+		for ci, vc := range configs {
+			ords, err := RankOrderings(g, eps, vc.threads, vc.deterministic, cfg.Runs)
+			if err != nil {
+				return nil, err
+			}
+			perConfig[ci] = ords
+		}
+		out[eps] = perConfig
+	}
+	return out, nil
+}
+
+// VarianceTables computes Tables II and III in one pass (sharing the
+// underlying runs): Table II holds average difference degrees within each
+// configuration, Table III across configurations, on the web-google
+// analog, for each ε.
+func VarianceTables(cfg Config) (tableII, tableIII []VarianceRow, err error) {
+	cfg.validate()
+	g, err := webGoogleAnalog(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	all, err := varianceOrderings(g, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	configs := paperVarianceConfigs()
+	tableII = make([]VarianceRow, len(configs))
+	for ci, vc := range configs {
+		name := VarianceConfigName(vc.threads, vc.deterministic)
+		row := VarianceRow{Pair: name + " vs. " + name, ByEpsilon: map[float64]float64{}}
+		for _, eps := range cfg.Epsilons {
+			row.ByEpsilon[eps] = metrics.MeanPairwiseDifferenceDegree(all[eps][ci])
+		}
+		tableII[ci] = row
+	}
+	for i := 0; i < len(configs); i++ {
+		for j := i + 1; j < len(configs); j++ {
+			row := VarianceRow{
+				Pair: VarianceConfigName(configs[i].threads, configs[i].deterministic) +
+					" vs. " + VarianceConfigName(configs[j].threads, configs[j].deterministic),
+				ByEpsilon: map[float64]float64{},
+			}
+			for _, eps := range cfg.Epsilons {
+				row.ByEpsilon[eps] = metrics.MeanCrossDifferenceDegree(all[eps][i], all[eps][j])
+			}
+			tableIII = append(tableIII, row)
+		}
+	}
+	return tableII, tableIII, nil
+}
+
+// TableII computes the paper's Table II (within-configuration difference
+// degrees). Prefer VarianceTables when Table III is also needed.
+func TableII(cfg Config) ([]VarianceRow, error) {
+	ii, _, err := VarianceTables(cfg)
+	return ii, err
+}
+
+// TableIII computes the paper's Table III (cross-configuration difference
+// degrees). Prefer VarianceTables when Table II is also needed.
+func TableIII(cfg Config) ([]VarianceRow, error) {
+	_, iii, err := VarianceTables(cfg)
+	return iii, err
+}
+
+func webGoogleAnalog(cfg Config) (*graph.Graph, error) {
+	return genSynth(cfg, "web-google")
+}
+
+func genSynth(cfg Config, name string) (*graph.Graph, error) {
+	gs, err := Graphs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	g, ok := gs[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no dataset %q", name)
+	}
+	return g, nil
+}
+
+// FixedPointOrderings generalizes RankOrderings to any value-producing
+// fixed-point algorithm ("pagerank" or "spmv"), addressing the paper's
+// closing caveat that its PageRank variance conclusions "may not apply to
+// other fixed point iteration algorithms".
+func FixedPointOrderings(g *graph.Graph, algoName string, cfg Config, eps float64, threads int, deterministic bool) ([][]uint32, error) {
+	cfg.validate()
+	out := make([][]uint32, 0, cfg.Runs)
+	for i := 0; i < cfg.Runs; i++ {
+		opts := core.Options{Scheduler: sched.Deterministic}
+		if !deterministic {
+			opts = core.Options{
+				Scheduler: sched.Nondeterministic,
+				Threads:   threads,
+				Mode:      edgedata.ModeAtomic,
+				Amplify:   true,
+			}
+		}
+		var values []float64
+		switch algoName {
+		case "pagerank":
+			pr := algorithms.NewPageRank(eps)
+			e, res, err := algorithms.Run(pr, g, opts)
+			if err != nil {
+				return nil, err
+			}
+			if !res.Converged {
+				return nil, fmt.Errorf("experiments: %s variance run did not converge", algoName)
+			}
+			values = pr.Ranks(e)
+		case "spmv":
+			sv := algorithms.NewSpMV(g, eps, 0.5, cfg.Seed+2)
+			e, res, err := algorithms.Run(sv, g, opts)
+			if err != nil {
+				return nil, err
+			}
+			if !res.Converged {
+				return nil, fmt.Errorf("experiments: %s variance run did not converge", algoName)
+			}
+			values = sv.Values(e)
+		default:
+			return nil, fmt.Errorf("experiments: %q is not a value-producing fixed-point algorithm", algoName)
+		}
+		out = append(out, metrics.RankOrder(values))
+	}
+	return out, nil
+}
+
+// FixedPointVarianceRow compares PageRank and SpMV run-to-run variance
+// under the same nondeterministic configuration.
+type FixedPointVarianceRow struct {
+	Algo     string
+	Epsilon  float64
+	MeanDiff float64 // mean pairwise difference degree
+	Footrule float64 // mean pairwise Spearman footrule
+}
+
+// FixedPointVariance measures both fixed-point algorithms at each ε on
+// the web-google analog (16 nondeterministic threads, the paper's most
+// perturbed configuration).
+func FixedPointVariance(cfg Config) ([]FixedPointVarianceRow, error) {
+	cfg.validate()
+	g, err := webGoogleAnalog(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []FixedPointVarianceRow
+	for _, algoName := range []string{"pagerank", "spmv"} {
+		for _, eps := range cfg.Epsilons {
+			ords, err := FixedPointOrderings(g, algoName, cfg, eps, 16, false)
+			if err != nil {
+				return nil, err
+			}
+			foot, pairs := 0.0, 0
+			for i := 0; i < len(ords); i++ {
+				for j := i + 1; j < len(ords); j++ {
+					foot += metrics.SpearmanFootrule(ords[i], ords[j])
+					pairs++
+				}
+			}
+			if pairs > 0 {
+				foot /= float64(pairs)
+			}
+			rows = append(rows, FixedPointVarianceRow{
+				Algo: algoName, Epsilon: eps,
+				MeanDiff: metrics.MeanPairwiseDifferenceDegree(ords),
+				Footrule: foot,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrecisionRow quantifies the paper's future-work item 2 — "more
+// discussions (e.g., on precision, range of errors) on the variations in
+// the results of fixed point iteration algorithms" — as the empirical
+// error of nondeterministically converged PageRank vectors against the
+// true fixed point.
+type PrecisionRow struct {
+	Epsilon         float64
+	Threads         int
+	MaxLInf         float64 // worst run's max component error vs the fixed point
+	MeanLInf        float64 // mean over runs
+	MeanL1PerVertex float64
+}
+
+// PrecisionStudy runs PageRank nondeterministically at each ε and
+// measures component-wise error against a tightly converged reference on
+// the web-google analog. The paper's local-convergence argument predicts
+// the error scales with ε (each vertex stops within ε of its fixed
+// point, and neighbors amplify by at most the damping geometric series).
+func PrecisionStudy(cfg Config) ([]PrecisionRow, error) {
+	cfg.validate()
+	g, err := webGoogleAnalog(cfg)
+	if err != nil {
+		return nil, err
+	}
+	truth := algorithms.ReferencePageRank(g, 0.85, 1e-13, 50000)
+	var rows []PrecisionRow
+	for _, eps := range cfg.Epsilons {
+		for _, threads := range []int{4, 16} {
+			row := PrecisionRow{Epsilon: eps, Threads: threads}
+			var linfs []float64
+			var l1s []float64
+			for i := 0; i < cfg.Runs; i++ {
+				pr := algorithms.NewPageRank(eps)
+				e, res, err := algorithms.Run(pr, g, core.Options{
+					Scheduler: sched.Nondeterministic,
+					Threads:   threads,
+					Mode:      edgedata.ModeAtomic,
+					Amplify:   true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if !res.Converged {
+					return nil, fmt.Errorf("experiments: precision run did not converge")
+				}
+				ranks := pr.Ranks(e)
+				linfs = append(linfs, metrics.LInfDistance(ranks, truth))
+				l1s = append(l1s, metrics.L1Distance(ranks, truth)/float64(g.N()))
+			}
+			sLinf := metrics.Summarize(linfs)
+			sL1 := metrics.Summarize(l1s)
+			row.MaxLInf = sLinf.Max
+			row.MeanLInf = sLinf.Mean
+			row.MeanL1PerVertex = sL1.Mean
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,80 @@
+package frontier
+
+// Frontier is the double-buffered scheduled-vertex set used by the
+// coordinated-scheduling engine. During iteration n the engine reads the
+// *current* set S_n (fixed for the whole iteration) while update functions
+// concurrently post vertices into the *next* set S_{n+1} via Schedule. At
+// the barrier, Advance swaps the buffers.
+//
+// Schedule uses atomic bit operations, so any number of worker goroutines
+// may post concurrently; reading the current set requires no
+// synchronization because it is immutable between barriers.
+type Frontier struct {
+	cur, next *Bitset
+	// members caches the ascending-order member list of cur, rebuilt at
+	// each Advance, so per-iteration dispatch does not rescan the bitset.
+	members []int
+}
+
+// NewFrontier returns a Frontier over a universe of n vertices with both
+// buffers empty.
+func NewFrontier(n int) *Frontier {
+	return &Frontier{cur: NewBitset(n), next: NewBitset(n), members: make([]int, 0, n)}
+}
+
+// Len returns the universe size.
+func (f *Frontier) Len() int { return f.cur.Len() }
+
+// ScheduleAll places every vertex in the current set (the usual initial
+// state: S_0 = V).
+func (f *Frontier) ScheduleAll() {
+	f.cur.SetAll()
+	f.rebuild()
+}
+
+// ScheduleNow places v in the *current* set. Intended for initialization
+// (e.g. SSSP schedules only the source); not safe concurrently with
+// iteration.
+func (f *Frontier) ScheduleNow(v int) {
+	f.cur.Set(v)
+	f.rebuild()
+}
+
+// Schedule posts v into the next iteration's set. Safe for concurrent use.
+// It reports whether v was newly scheduled.
+func (f *Frontier) Schedule(v int) bool {
+	return f.next.SetAtomic(v)
+}
+
+// Scheduled reports whether v is in the current set.
+func (f *Frontier) Scheduled(v int) bool { return f.cur.Test(v) }
+
+// PendingNext reports whether v has already been posted for the next
+// iteration.
+func (f *Frontier) PendingNext(v int) bool { return f.next.TestAtomic(v) }
+
+// Members returns the current set in ascending label order. The returned
+// slice is owned by the Frontier and is invalidated by Advance.
+func (f *Frontier) Members() []int { return f.members }
+
+// Size returns the cardinality of the current set.
+func (f *Frontier) Size() int { return len(f.members) }
+
+// NextSize returns the cardinality of the set accumulated for the next
+// iteration so far. Only meaningful at a barrier (when no Schedule calls
+// are in flight).
+func (f *Frontier) NextSize() int { return f.next.Count() }
+
+// Advance swaps buffers: the accumulated next set becomes current and the
+// new next set is cleared. It returns the size of the new current set, so
+// callers can detect convergence (size 0). Must be called at a barrier.
+func (f *Frontier) Advance() int {
+	f.cur, f.next = f.next, f.cur
+	f.next.ClearAll()
+	f.rebuild()
+	return len(f.members)
+}
+
+func (f *Frontier) rebuild() {
+	f.members = f.cur.AppendMembers(f.members[:0])
+}

@@ -1,0 +1,130 @@
+package frontier
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFrontierInitialEmpty(t *testing.T) {
+	f := NewFrontier(10)
+	if f.Size() != 0 || len(f.Members()) != 0 {
+		t.Fatal("new frontier not empty")
+	}
+	if f.Len() != 10 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestScheduleAll(t *testing.T) {
+	f := NewFrontier(5)
+	f.ScheduleAll()
+	m := f.Members()
+	if len(m) != 5 {
+		t.Fatalf("Members after ScheduleAll = %v", m)
+	}
+	for i, v := range m {
+		if v != i {
+			t.Fatalf("members not in ascending label order: %v", m)
+		}
+	}
+}
+
+func TestScheduleNowSingleSource(t *testing.T) {
+	f := NewFrontier(100)
+	f.ScheduleNow(42)
+	if f.Size() != 1 || f.Members()[0] != 42 {
+		t.Fatalf("Members = %v, want [42]", f.Members())
+	}
+	if !f.Scheduled(42) || f.Scheduled(41) {
+		t.Fatal("Scheduled membership wrong")
+	}
+}
+
+func TestAdvanceSwapsBuffers(t *testing.T) {
+	f := NewFrontier(10)
+	f.ScheduleAll()
+	f.Schedule(3)
+	f.Schedule(7)
+	if !f.PendingNext(3) || f.PendingNext(4) {
+		t.Fatal("PendingNext wrong before advance")
+	}
+	n := f.Advance()
+	if n != 2 {
+		t.Fatalf("Advance returned %d, want 2", n)
+	}
+	m := f.Members()
+	if len(m) != 2 || m[0] != 3 || m[1] != 7 {
+		t.Fatalf("Members after advance = %v", m)
+	}
+	if f.NextSize() != 0 {
+		t.Fatal("next buffer not cleared after advance")
+	}
+	// Converged: nothing scheduled.
+	if f.Advance() != 0 {
+		t.Fatal("second Advance should report empty set")
+	}
+}
+
+func TestScheduleIdempotent(t *testing.T) {
+	f := NewFrontier(10)
+	if !f.Schedule(5) {
+		t.Fatal("first Schedule(5) returned false")
+	}
+	if f.Schedule(5) {
+		t.Fatal("duplicate Schedule(5) returned true")
+	}
+	if f.NextSize() != 1 {
+		t.Fatalf("NextSize = %d, want 1", f.NextSize())
+	}
+}
+
+func TestScheduleConcurrent(t *testing.T) {
+	const n = 2000
+	f := NewFrontier(n)
+	var wg sync.WaitGroup
+	newly := make([]int, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if f.Schedule(i) {
+					newly[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range newly {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("concurrent Schedule claimed %d, want %d", total, n)
+	}
+	if got := f.Advance(); got != n {
+		t.Fatalf("Advance = %d, want %d", got, n)
+	}
+}
+
+func TestMembersAscendingAfterConcurrentSchedule(t *testing.T) {
+	f := NewFrontier(512)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < 512; i += 4 {
+				f.Schedule(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	f.Advance()
+	m := f.Members()
+	for i := 1; i < len(m); i++ {
+		if m[i-1] >= m[i] {
+			t.Fatalf("members not strictly ascending at %d: %v...", i, m[i-1:i+1])
+		}
+	}
+}

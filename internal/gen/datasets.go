@@ -1,0 +1,119 @@
+package gen
+
+import (
+	"fmt"
+
+	"ndgraph/internal/graph"
+)
+
+// Dataset identifies one of the paper's Table I graphs (synthetic analog).
+type Dataset int
+
+const (
+	// WebBerkStan models web-BerkStan: 685,231 vertices, 7,600,595 edges —
+	// a highly skewed web crawl of berkeley.edu/stanford.edu.
+	WebBerkStan Dataset = iota
+	// WebGoogle models web-Google: 916,428 vertices, 5,105,039 edges.
+	WebGoogle
+	// SocLiveJournal models soc-LiveJournal1: 4,847,571 vertices,
+	// 68,993,773 edges — a social network with heavy-tailed degrees and
+	// high reciprocity.
+	SocLiveJournal
+	// Cage15 models cage15: 5,154,859 vertices, 99,199,551 edges — a
+	// quasi-regular DNA-electrophoresis matrix with ~19 average degree and
+	// banded structure.
+	Cage15
+	numDatasets
+)
+
+// String returns the dataset's canonical name (matching the paper).
+func (d Dataset) String() string {
+	switch d {
+	case WebBerkStan:
+		return "web-berkstan"
+	case WebGoogle:
+		return "web-google"
+	case SocLiveJournal:
+		return "soc-livejournal1"
+	case Cage15:
+		return "cage15"
+	default:
+		return fmt.Sprintf("dataset(%d)", int(d))
+	}
+}
+
+// AllDatasets lists the four Table I analogs in paper order.
+func AllDatasets() []Dataset {
+	return []Dataset{WebBerkStan, WebGoogle, SocLiveJournal, Cage15}
+}
+
+// ParseDataset maps a name (as printed by String) back to a Dataset.
+func ParseDataset(name string) (Dataset, error) {
+	for d := Dataset(0); d < numDatasets; d++ {
+		if d.String() == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("gen: unknown dataset %q", name)
+}
+
+// paperScale holds the original |V| and |E| from Table I.
+var paperScale = map[Dataset][2]int{
+	WebBerkStan:    {685231, 7600595},
+	WebGoogle:      {916428, 5105039},
+	SocLiveJournal: {4847571, 68993773},
+	Cage15:         {5154859, 99199551},
+}
+
+// PaperSize returns the original vertex and edge counts from Table I.
+func (d Dataset) PaperSize() (v, e int) {
+	s := paperScale[d]
+	return s[0], s[1]
+}
+
+// Synthesize generates the analog of dataset d at the given scale: the
+// vertex and edge counts are the paper's divided by scale (scale 1 =
+// full paper size; the default harness uses scale ~10 so the whole
+// experiment suite runs in minutes on a laptop). The result is
+// deterministic in (d, scale, seed).
+func Synthesize(d Dataset, scale int, seed uint64) (*graph.Graph, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("gen: scale must be positive (got %d)", scale)
+	}
+	pv, pe := d.PaperSize()
+	n := pv / scale
+	m := pe / scale
+	if n < 16 {
+		return nil, fmt.Errorf("gen: scale %d leaves only %d vertices for %s", scale, n, d)
+	}
+	switch d {
+	case WebBerkStan:
+		// web-BerkStan is the most skewed of the four (max in-degree
+		// ~84K on 685K vertices); use a hot R-MAT parameterization.
+		return RMAT(n, m, RMATParams{A: 0.65, B: 0.15, C: 0.15, D: 0.05, NoiseAmp: 0.1}, seed)
+	case WebGoogle:
+		return RMAT(n, m, DefaultRMAT, seed)
+	case SocLiveJournal:
+		// Social graph: preferential attachment with out-degree matching
+		// the average (~14.2), which also yields high reciprocity-like
+		// hub structure.
+		k := (m + n - 1) / n
+		if k < 1 {
+			k = 1
+		}
+		return PreferentialAttachment(n, k, seed)
+	case Cage15:
+		// cage15 averages ~19.2 edges/vertex with banded locality.
+		deg := (m + n - 1) / n
+		if deg < 1 {
+			deg = 1
+		}
+		bw := n / 64
+		if bw < 4 {
+			bw = 4
+		}
+		return Banded(n, deg, bw, seed)
+	default:
+		return nil, fmt.Errorf("gen: unknown dataset %v", d)
+	}
+}

@@ -1,0 +1,77 @@
+package graph
+
+// Analysis utilities backing Table I reporting and generator fidelity
+// checks: degree distributions and a diameter estimate.
+
+// DegreeHistogram returns hist where hist[d] counts the vertices with the
+// given degree, using the selected direction: "in", "out", or "total".
+// The slice length is 1 + the maximum observed degree.
+func (g *Graph) DegreeHistogram(direction string) []int {
+	deg := func(v uint32) int {
+		switch direction {
+		case "in":
+			return g.InDegree(v)
+		case "out":
+			return g.OutDegree(v)
+		default:
+			return g.Degree(v)
+		}
+	}
+	max := 0
+	for v := uint32(0); int(v) < g.n; v++ {
+		if d := deg(v); d > max {
+			max = d
+		}
+	}
+	hist := make([]int, max+1)
+	for v := uint32(0); int(v) < g.n; v++ {
+		hist[deg(v)]++
+	}
+	return hist
+}
+
+// EstimateDiameter lower-bounds the diameter of the graph's undirected
+// view with the classic double-sweep heuristic: BFS from start, then BFS
+// again from the farthest vertex found; the second eccentricity is the
+// estimate. Disconnected remainders are ignored (the sweep stays in
+// start's component). Returns 0 for empty graphs.
+func (g *Graph) EstimateDiameter(start uint32) int {
+	if g.n == 0 {
+		return 0
+	}
+	far, _ := g.undirectedBFSFarthest(start)
+	_, ecc := g.undirectedBFSFarthest(far)
+	return ecc
+}
+
+// undirectedBFSFarthest runs BFS over both edge directions and returns
+// the farthest reached vertex and its distance.
+func (g *Graph) undirectedBFSFarthest(start uint32) (uint32, int) {
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[start] = 0
+	queue := []uint32{start}
+	farV, farD := start, 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		visit := func(u uint32) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				if int(dist[u]) > farD {
+					farV, farD = u, int(dist[u])
+				}
+				queue = append(queue, u)
+			}
+		}
+		for _, u := range g.OutNeighbors(v) {
+			visit(u)
+		}
+		for _, u := range g.InNeighbors(v) {
+			visit(u)
+		}
+	}
+	return farV, farD
+}

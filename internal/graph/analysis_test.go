@@ -1,0 +1,86 @@
+package graph
+
+import "testing"
+
+func TestDegreeHistogram(t *testing.T) {
+	//   0 → 1, 0 → 2, 1 → 2 : out degrees {2,1,0}, in {0,1,2}, total {2,2,2}.
+	g, err := Build([]Edge{{0, 1}, {0, 2}, {1, 2}}, Options{NumVertices: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.DegreeHistogram("out")
+	if len(out) != 3 || out[0] != 1 || out[1] != 1 || out[2] != 1 {
+		t.Fatalf("out hist = %v", out)
+	}
+	in := g.DegreeHistogram("in")
+	if in[0] != 1 || in[1] != 1 || in[2] != 1 {
+		t.Fatalf("in hist = %v", in)
+	}
+	total := g.DegreeHistogram("total")
+	if len(total) != 3 || total[2] != 3 {
+		t.Fatalf("total hist = %v", total)
+	}
+	sum := 0
+	for d, c := range out {
+		sum += d * c
+	}
+	if sum != g.M() {
+		t.Fatalf("out-degree mass %d != edges %d", sum, g.M())
+	}
+}
+
+func TestEstimateDiameterChain(t *testing.T) {
+	// A directed path of n vertices has undirected diameter n-1; the
+	// double sweep finds it exactly on trees.
+	es := make([]Edge, 0, 9)
+	for i := 0; i < 9; i++ {
+		es = append(es, Edge{Src: uint32(i), Dst: uint32(i + 1)})
+	}
+	g, err := Build(es, Options{NumVertices: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, start := range []uint32{0, 5, 9} {
+		if d := g.EstimateDiameter(start); d != 9 {
+			t.Fatalf("chain diameter from %d = %d, want 9", start, d)
+		}
+	}
+}
+
+func TestEstimateDiameterRing(t *testing.T) {
+	es := make([]Edge, 8)
+	for i := range es {
+		es[i] = Edge{Src: uint32(i), Dst: uint32((i + 1) % 8)}
+	}
+	g, err := Build(es, Options{NumVertices: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Undirected 8-cycle has diameter 4; double sweep reaches it.
+	if d := g.EstimateDiameter(0); d != 4 {
+		t.Fatalf("ring diameter = %d, want 4", d)
+	}
+}
+
+func TestEstimateDiameterDisconnected(t *testing.T) {
+	g, err := Build([]Edge{{0, 1}}, Options{NumVertices: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := g.EstimateDiameter(0); d != 1 {
+		t.Fatalf("component diameter = %d, want 1", d)
+	}
+	if d := g.EstimateDiameter(3); d != 0 {
+		t.Fatalf("isolated diameter = %d, want 0", d)
+	}
+}
+
+func TestEstimateDiameterEmpty(t *testing.T) {
+	g, err := Build(nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EstimateDiameter(0) != 0 {
+		t.Fatal("empty graph diameter")
+	}
+}

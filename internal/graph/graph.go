@@ -1,0 +1,361 @@
+// Package graph provides the immutable in-memory graph representation used
+// by the ndgraph engine: a directed graph stored as paired CSR (compressed
+// sparse row) adjacency in both directions, with a canonical edge index that
+// unifies the two views.
+//
+// The paper's system model (Section II) gives every vertex a unique label in
+// [0, |V|-1] and every edge a single mutable data word shared between the
+// updates of its two endpoints; the pull-mode update function of a vertex v
+// reads and writes only v's incident edges. The representation here serves
+// exactly that access pattern:
+//
+//   - vertex labels are the indices 0..N()-1;
+//   - each directed edge (u→v) has one canonical index in [0, M()), which is
+//     its position in the source-sorted edge array; edge-value stores
+//     (package edgedata) are flat arrays indexed by that canonical index;
+//   - OutEdgeIndex exposes the canonical indices of v's out-edges (a
+//     contiguous range), InEdgeIndices those of its in-edges (a gather
+//     list), so f(v) can reach the single shared data word of every
+//     incident edge in O(degree).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one directed edge (Src → Dst) in builder input.
+type Edge struct {
+	Src, Dst uint32
+}
+
+// Graph is an immutable directed graph in dual-CSR form. Construct with
+// Build or a loader; the zero value is an empty graph.
+type Graph struct {
+	n int // number of vertices
+
+	// Out-adjacency: edges sorted by (src, dst). The canonical index of the
+	// k-th entry of outDst is k itself.
+	outOff []int64  // len n+1; out-edges of v are outDst[outOff[v]:outOff[v+1]]
+	outDst []uint32 // len m
+
+	// In-adjacency: for each v, the sources of its in-edges plus the
+	// canonical index of each such edge in the out-adjacency ordering.
+	inOff  []int64  // len n+1
+	inSrc  []uint32 // len m
+	inEdge []uint32 // len m; canonical edge index of each in-slot
+}
+
+// Options controls Build.
+type Options struct {
+	// NumVertices fixes the vertex-set size. If zero, Build uses
+	// 1 + max(endpoint) over the input (or 0 for an empty input).
+	NumVertices int
+	// DropSelfLoops removes edges with Src == Dst.
+	DropSelfLoops bool
+	// Dedup collapses parallel edges with identical (Src, Dst).
+	Dedup bool
+}
+
+// Build constructs a Graph from an edge list. The input slice is not
+// modified. Endpoints must fit the final vertex count; Build returns an
+// error otherwise.
+func Build(edges []Edge, opt Options) (*Graph, error) {
+	n := opt.NumVertices
+	maxEnd := -1
+	for _, e := range edges {
+		if int(e.Src) > maxEnd {
+			maxEnd = int(e.Src)
+		}
+		if int(e.Dst) > maxEnd {
+			maxEnd = int(e.Dst)
+		}
+	}
+	if n == 0 {
+		n = maxEnd + 1
+	} else if maxEnd >= n {
+		return nil, fmt.Errorf("graph: endpoint %d exceeds vertex count %d", maxEnd, n)
+	}
+
+	work := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if opt.DropSelfLoops && e.Src == e.Dst {
+			continue
+		}
+		work = append(work, e)
+	}
+	sort.Slice(work, func(i, j int) bool {
+		if work[i].Src != work[j].Src {
+			return work[i].Src < work[j].Src
+		}
+		return work[i].Dst < work[j].Dst
+	})
+	if opt.Dedup {
+		work = dedupSorted(work)
+	}
+
+	g := &Graph{
+		n:      n,
+		outOff: make([]int64, n+1),
+		outDst: make([]uint32, len(work)),
+		inOff:  make([]int64, n+1),
+		inSrc:  make([]uint32, len(work)),
+		inEdge: make([]uint32, len(work)),
+	}
+
+	// Out CSR directly from the sorted order.
+	for i, e := range work {
+		g.outOff[e.Src+1]++
+		g.outDst[i] = e.Dst
+	}
+	for v := 0; v < n; v++ {
+		g.outOff[v+1] += g.outOff[v]
+	}
+
+	// In CSR: count, prefix-sum, scatter (keeping canonical index).
+	for _, e := range work {
+		g.inOff[e.Dst+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.inOff[v+1] += g.inOff[v]
+	}
+	cursor := make([]int64, n)
+	copy(cursor, g.inOff[:n])
+	for i, e := range work {
+		slot := cursor[e.Dst]
+		cursor[e.Dst]++
+		g.inSrc[slot] = e.Src
+		g.inEdge[slot] = uint32(i)
+	}
+	// Because the canonical order is (src, dst)-sorted and the scatter walks
+	// it in order, each vertex's in-list is automatically sorted by source.
+	return g, nil
+}
+
+func dedupSorted(es []Edge) []Edge {
+	out := es[:0]
+	for i, e := range es {
+		if i == 0 || e != es[i-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return len(g.outDst) }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v uint32) int { return int(g.outOff[v+1] - g.outOff[v]) }
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v uint32) int { return int(g.inOff[v+1] - g.inOff[v]) }
+
+// Degree returns the total incident-edge count of v (in + out).
+func (g *Graph) Degree(v uint32) int { return g.OutDegree(v) + g.InDegree(v) }
+
+// OutNeighbors returns the destinations of v's out-edges in ascending
+// order. The returned slice aliases internal storage and must not be
+// modified.
+func (g *Graph) OutNeighbors(v uint32) []uint32 {
+	return g.outDst[g.outOff[v]:g.outOff[v+1]]
+}
+
+// OutEdgeIndex returns the canonical index range [lo, hi) of v's out-edges:
+// the canonical index of OutNeighbors(v)[k] is lo+k.
+func (g *Graph) OutEdgeIndex(v uint32) (lo, hi uint32) {
+	return uint32(g.outOff[v]), uint32(g.outOff[v+1])
+}
+
+// InNeighbors returns the sources of v's in-edges in ascending order. The
+// returned slice aliases internal storage and must not be modified.
+func (g *Graph) InNeighbors(v uint32) []uint32 {
+	return g.inSrc[g.inOff[v]:g.inOff[v+1]]
+}
+
+// InEdgeIndices returns the canonical edge indices of v's in-edges,
+// parallel to InNeighbors(v). The returned slice aliases internal storage
+// and must not be modified.
+func (g *Graph) InEdgeIndices(v uint32) []uint32 {
+	return g.inEdge[g.inOff[v]:g.inOff[v+1]]
+}
+
+// EdgeEndpoints returns the (src, dst) pair of the canonical edge index e.
+// It runs in O(log N) via binary search over the out-offsets; intended for
+// diagnostics and tests, not hot paths.
+func (g *Graph) EdgeEndpoints(e uint32) (src, dst uint32) {
+	dst = g.outDst[e]
+	// Find the vertex whose out range contains e.
+	lo, hi := 0, g.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.outOff[mid+1] <= int64(e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return uint32(lo), dst
+}
+
+// FindEdge returns the canonical index of edge (src→dst) and whether it
+// exists. Parallel edges return the first occurrence.
+func (g *Graph) FindEdge(src, dst uint32) (uint32, bool) {
+	nbrs := g.OutNeighbors(src)
+	k := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= dst })
+	if k < len(nbrs) && nbrs[k] == dst {
+		lo, _ := g.OutEdgeIndex(src)
+		return lo + uint32(k), true
+	}
+	return 0, false
+}
+
+// Edges returns a fresh edge list in canonical order.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.M())
+	for v := uint32(0); int(v) < g.n; v++ {
+		for _, d := range g.OutNeighbors(v) {
+			es = append(es, Edge{Src: v, Dst: d})
+		}
+	}
+	return es
+}
+
+// Reverse returns a new graph with every edge direction flipped.
+func (g *Graph) Reverse() *Graph {
+	es := g.Edges()
+	for i := range es {
+		es[i].Src, es[i].Dst = es[i].Dst, es[i].Src
+	}
+	r, err := Build(es, Options{NumVertices: g.n})
+	if err != nil {
+		// Impossible: endpoints came from a valid graph of the same size.
+		panic(err)
+	}
+	return r
+}
+
+// Undirected returns a new graph in which every edge (u→v) of g is paired
+// with (v→u). Duplicate pairs are collapsed and self-loops preserved as a
+// single direction.
+func (g *Graph) Undirected() *Graph {
+	es := g.Edges()
+	for _, e := range g.Edges() {
+		if e.Src != e.Dst {
+			es = append(es, Edge{Src: e.Dst, Dst: e.Src})
+		}
+	}
+	u, err := Build(es, Options{NumVertices: g.n, Dedup: true})
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// Validate checks internal invariants (offset monotonicity, neighbor
+// ordering, in/out mirror consistency). It is O(N + M) and intended for
+// tests and loaders.
+func (g *Graph) Validate() error {
+	if len(g.outOff) != g.n+1 || len(g.inOff) != g.n+1 {
+		return fmt.Errorf("graph: offset arrays sized %d/%d for %d vertices", len(g.outOff), len(g.inOff), g.n)
+	}
+	if g.outOff[g.n] != int64(len(g.outDst)) || g.inOff[g.n] != int64(len(g.inSrc)) {
+		return fmt.Errorf("graph: terminal offsets %d/%d do not match edge count %d", g.outOff[g.n], g.inOff[g.n], len(g.outDst))
+	}
+	for v := 0; v < g.n; v++ {
+		if g.outOff[v] > g.outOff[v+1] || g.inOff[v] > g.inOff[v+1] {
+			return fmt.Errorf("graph: non-monotonic offsets at vertex %d", v)
+		}
+	}
+	inCount := 0
+	for v := uint32(0); int(v) < g.n; v++ {
+		srcs := g.InNeighbors(v)
+		idxs := g.InEdgeIndices(v)
+		inCount += len(srcs)
+		for k, s := range srcs {
+			e := idxs[k]
+			if int(e) >= len(g.outDst) {
+				return fmt.Errorf("graph: in-edge index %d out of range", e)
+			}
+			if g.outDst[e] != v {
+				return fmt.Errorf("graph: in-edge %d of vertex %d maps to out-slot with dst %d", e, v, g.outDst[e])
+			}
+			lo, hi := g.OutEdgeIndex(s)
+			if e < lo || e >= hi {
+				return fmt.Errorf("graph: in-edge %d of vertex %d not within source %d's range [%d,%d)", e, v, s, lo, hi)
+			}
+		}
+	}
+	if inCount != len(g.outDst) {
+		return fmt.Errorf("graph: in-adjacency holds %d edges, out-adjacency %d", inCount, len(g.outDst))
+	}
+	return nil
+}
+
+// Stats summarizes a graph for Table I-style reporting.
+type Stats struct {
+	Vertices    int
+	Edges       int
+	MaxInDeg    int
+	MaxOutDeg   int
+	AvgDeg      float64
+	SelfLoops   int
+	ZeroInDeg   int // vertices with no in-edges
+	ZeroOutDeg  int // vertices with no out-edges (dangling, PageRank-relevant)
+	Isolated    int // vertices with no edges at all
+	DegreeSkew  float64
+	Reciprocity float64 // fraction of edges whose reverse also exists
+}
+
+// ComputeStats scans the graph and returns summary statistics. DegreeSkew
+// is max total degree divided by average total degree — a crude proxy for
+// power-law vs regular structure, used to sanity-check the synthetic
+// dataset analogs against the paper's Table I graphs.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{Vertices: g.n, Edges: g.M()}
+	if g.n == 0 {
+		return s
+	}
+	maxDeg := 0
+	recip := 0
+	for v := uint32(0); int(v) < g.n; v++ {
+		in, out := g.InDegree(v), g.OutDegree(v)
+		if in > s.MaxInDeg {
+			s.MaxInDeg = in
+		}
+		if out > s.MaxOutDeg {
+			s.MaxOutDeg = out
+		}
+		if in+out > maxDeg {
+			maxDeg = in + out
+		}
+		if in == 0 {
+			s.ZeroInDeg++
+		}
+		if out == 0 {
+			s.ZeroOutDeg++
+		}
+		if in == 0 && out == 0 {
+			s.Isolated++
+		}
+		for _, d := range g.OutNeighbors(v) {
+			if d == v {
+				s.SelfLoops++
+			}
+			if _, ok := g.FindEdge(d, v); ok {
+				recip++
+			}
+		}
+	}
+	s.AvgDeg = float64(2*g.M()) / float64(g.n)
+	if s.AvgDeg > 0 {
+		s.DegreeSkew = float64(maxDeg) / s.AvgDeg
+	}
+	if g.M() > 0 {
+		s.Reciprocity = float64(recip) / float64(g.M())
+	}
+	return s
+}

@@ -1,0 +1,244 @@
+package loader
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ndgraph/internal/gen"
+	"ndgraph/internal/graph"
+)
+
+func TestReadEdgeListBasic(t *testing.T) {
+	in := `# comment
+% also comment
+
+0 1
+1	2
+2 0 extra-ignored
+`
+	g, err := ReadEdgeList(strings.NewReader(in), graph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if _, ok := g.FindEdge(1, 2); !ok {
+		t.Fatal("missing edge 1→2")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"one field": "7\n",
+		"non-int":   "a b\n",
+		"negative":  "-1 2\n",
+		"too large": "99999999999 1\n",
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(in), graph.Options{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, err := gen.RMAT(200, 1000, gen.DefaultRMAT, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf, graph.Options{NumVertices: g.N()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g, err := gen.RMAT(300, 2000, gen.DefaultRMAT, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty binary accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Valid header claiming more edges than present.
+	var buf bytes.Buffer
+	g, _ := gen.Ring(4)
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadBinary(bytes.NewReader(truncated)); err == nil {
+		t.Error("truncated binary accepted")
+	}
+}
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% produced by hand
+3 3 3
+1 2 0.5
+2 3 1.5
+3 1 2.5
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in), graph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if _, ok := g.FindEdge(0, 1); !ok {
+		t.Fatal("missing 1-based-converted edge 0→1")
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+3 3 2
+2 1
+3 3
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in), graph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2,1) expands to both directions; (3,3) is diagonal, kept single.
+	if g.M() != 3 {
+		t.Fatalf("M = %d, want 3", g.M())
+	}
+	if _, ok := g.FindEdge(0, 1); !ok {
+		t.Fatal("symmetric expansion missing 0→1")
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":      "",
+		"bad header": "%%MatrixMarket matrix array real general\n2 2\n",
+		"bad size":   "%%MatrixMarket matrix coordinate real general\nx y z\n",
+		"bad entry":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1\n",
+		"one field":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
+	} {
+		if _, err := ReadMatrixMarket(strings.NewReader(in), graph.Options{}); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadSaveFile(t *testing.T) {
+	dir := t.TempDir()
+	g, err := gen.RMAT(100, 500, gen.DefaultRMAT, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"g.txt", "g.bin"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, g); err != nil {
+			t.Fatalf("SaveFile(%s): %v", name, err)
+		}
+		g2, err := LoadFile(path, graph.Options{NumVertices: g.N()})
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", name, err)
+		}
+		assertSameGraph(t, g, g2)
+	}
+	if err := SaveFile(filepath.Join(dir, "g.mtx"), g); err == nil {
+		t.Error("SaveFile(.mtx) accepted")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.txt"), graph.Options{}); err == nil {
+		t.Error("LoadFile of missing path accepted")
+	}
+}
+
+func TestLoadFileMatrixMarket(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mtx")
+	content := "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadFile(path, graph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d", g.M())
+	}
+}
+
+func assertSameGraph(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("graph sizes differ: (%d,%d) vs (%d,%d)", a.N(), a.M(), b.N(), b.M())
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ae[i], be[i])
+		}
+	}
+}
+
+func TestLoadFileGzip(t *testing.T) {
+	dir := t.TempDir()
+	g, err := gen.RMAT(80, 400, gen.DefaultRMAT, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw bytes.Buffer
+	if err := WriteEdgeList(&raw, g); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "g.txt.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if _, err := zw.Write(raw.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadFile(path, graph.Options{NumVertices: g.N()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+	// Corrupt gzip must error.
+	bad := filepath.Join(dir, "bad.txt.gz")
+	if err := os.WriteFile(bad, []byte("not gzip"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad, graph.Options{}); err == nil {
+		t.Fatal("corrupt gzip accepted")
+	}
+}

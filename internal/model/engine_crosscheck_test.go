@@ -1,0 +1,116 @@
+package model
+
+import (
+	"testing"
+
+	"ndgraph/internal/core"
+	"ndgraph/internal/gen"
+	"ndgraph/internal/sched"
+)
+
+// minLabel is the test propagation: chain vertex 0 starts with the
+// minimum and all vertices are scheduled every iteration (the Theorem 1
+// proof's setting).
+func minLabel(ctx core.VertexView) {
+	min := ctx.Vertex()
+	for k := 0; k < ctx.InDegree(); k++ {
+		if w := ctx.InEdgeVal(k); w < min {
+			min = w
+		}
+	}
+	ctx.SetVertex(min)
+	for k := 0; k < ctx.OutDegree(); k++ {
+		if ctx.OutEdgeVal(k) > min {
+			ctx.SetOutEdgeVal(k, min)
+		}
+	}
+}
+
+func chainEngineIters(t *testing.T, n int, opts core.Options) int {
+	t.Helper()
+	g, err := gen.Chain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEngine(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range e.Vertices {
+		e.Vertices[v] = uint64(v + 1)
+	}
+	e.Vertices[0] = 0
+	e.Edges.Fill(^uint64(0))
+	e.Frontier().ScheduleAll()
+	res, err := e.Run(minLabel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	for v, w := range e.Vertices {
+		if w != 0 {
+			t.Fatalf("vertex %d = %d", v, w)
+		}
+	}
+	return res.Iterations
+}
+
+// The deterministic engine matches the p=1 model: the ascending chain
+// collapses in one iteration, plus exactly one detection pass in which
+// nothing changes... almost: the iteration-0 writes reschedule their
+// endpoints, so the engine runs follow-up iterations until no writes
+// occur. The model predicts the iteration at which the value *arrives*;
+// the engine adds passes for quiescence detection. The invariant tested:
+// engine iterations ∈ [model, model + 2].
+func TestModelMatchesDeterministicEngine(t *testing.T) {
+	for _, n := range []int{4, 16, 64} {
+		chain := make([]int, n)
+		for i := range chain {
+			chain[i] = i
+		}
+		predicted := ChainIterations(chain, n, 1, 1)
+		got := chainEngineIters(t, n, core.Options{Scheduler: sched.Deterministic})
+		if got < predicted || got > predicted+2 {
+			t.Fatalf("n=%d: engine %d iterations, model predicts %d (+detection)", n, got, predicted)
+		}
+	}
+}
+
+// The synchronous engine matches the overlap-everywhere limit: one
+// iteration per hop.
+func TestModelMatchesSynchronousEngine(t *testing.T) {
+	for _, n := range []int{4, 16, 48} {
+		chain := make([]int, n)
+		for i := range chain {
+			chain[i] = i
+		}
+		// BSP = every hop overlapped: model with p = nv, d = ∞-ish.
+		predicted := ChainIterations(chain, n, n, n*10)
+		got := chainEngineIters(t, n, core.Options{Scheduler: sched.Synchronous, Threads: 1})
+		if got < predicted || got > predicted+2 {
+			t.Fatalf("n=%d: sync engine %d iterations, model predicts %d (+detection)", n, got, predicted)
+		}
+	}
+}
+
+// The ratio between BSP and Gauss–Seidel iterations on a long chain is
+// the paper's headline motivation; the model predicts it exactly.
+func TestModelPredictsCollapseRatio(t *testing.T) {
+	n := 64
+	chain := make([]int, n)
+	for i := range chain {
+		chain[i] = i
+	}
+	gs := ChainIterations(chain, n, 1, 1)
+	bsp := ChainIterations(chain, n, n, n*10)
+	if gs != 1 || bsp != n {
+		t.Fatalf("model: gs=%d bsp=%d", gs, bsp)
+	}
+	gotGS := chainEngineIters(t, n, core.Options{Scheduler: sched.Deterministic})
+	gotBSP := chainEngineIters(t, n, core.Options{Scheduler: sched.Synchronous, Threads: 1})
+	if gotBSP < 10*gotGS {
+		t.Fatalf("engine collapse ratio too small: gs=%d bsp=%d", gotGS, gotBSP)
+	}
+}

@@ -1,0 +1,131 @@
+// Package model provides the theoretical convergence-speed analysis the
+// paper lists as future work ("theoretical analyses of the convergence
+// speed (e.g., in amount of iterations) of graph algorithms by
+// nondeterministic executions").
+//
+// It builds directly on the Section II order model (implemented in
+// package sched): updates of one iteration are dispatched by Fig. 1 over
+// P threads, and two updates relate as ≺ (result visible), ≻, or ∥
+// (overlapped) depending on their positions π and the propagation
+// distance d. The Theorem 1 proof reduces convergence to passing a value
+// along a chain v_0 → v_1 → … → v_k; per hop:
+//
+//   - f(v_i) ≺ f(v_{i+1}): the value passes within the same iteration
+//     (the Gauss–Seidel collapse);
+//   - f(v_i) ≻ f(v_{i+1}) or ∥: the write lands after (or invisible to)
+//     the reader, so the value arrives one iteration later.
+//
+// ChainIterations turns that case analysis into a closed prediction, and
+// SimulateChain checks it with a discrete-event execution of the same
+// model, so the two can be property-tested against each other. The
+// Theorem 2 analysis adds the write-write recovery cost: a corrupted edge
+// is rewritten in the next iteration and consumed the one after, bounding
+// the delay per corruption at two iterations (WWRecoveryBound).
+package model
+
+import "ndgraph/internal/sched"
+
+// ChainIterations predicts the number of iterations for a value produced
+// at chain[0] to reach chain[k] when every chain vertex is scheduled in
+// every iteration, nv updates are dispatched per iteration over p threads
+// with propagation distance d, and labels are the chain entries.
+//
+// The count follows the Theorem 1 proof: the value starts available at
+// iteration 1 (produced by f(chain[0]) during iteration 0); each hop
+// whose relation is not Before adds one iteration; Before hops pass
+// within the iteration. The result is the iteration index (1-based) by
+// which chain[k] has consumed the value — including the final iteration
+// in which nothing changes, the engine's convergence detection adds one
+// more pass.
+func ChainIterations(chain []int, nv, p, d int) int {
+	if len(chain) < 2 {
+		return 1
+	}
+	iters := 1
+	for i := 0; i+1 < len(chain); i++ {
+		if sched.Relation(chain[i], chain[i+1], nv, p, d) != sched.Before {
+			iters++
+		}
+	}
+	return iters
+}
+
+// SimulateChain executes the order model as a discrete-event simulation,
+// independently of the ChainIterations recurrence: each iteration, every
+// chain vertex that holds the value writes its outgoing chain edge during
+// its update; a downstream vertex acquires the value either from an edge
+// written in an *earlier* iteration (barriers commit writes) or from a
+// same-iteration write when the writer relates as ≺ (Before) to the
+// reader — in which case the reader's own scatter can forward the value
+// further within the same iteration (the Gauss–Seidel collapse along
+// Before-runs). It returns the iteration (1-based) at which the value
+// reaches the chain's end, or 0 if maxIters passes first.
+func SimulateChain(chain []int, nv, p, d, maxIters int) int {
+	if len(chain) < 2 {
+		return 1
+	}
+	k := len(chain)
+	has := make([]bool, k)
+	has[0] = true
+	edgeWritten := make([]int, k-1) // iteration edge i was first written; 0 = never
+	for iter := 1; iter <= maxIters; iter++ {
+		// Phase 1: consume edges committed by earlier iterations.
+		for i := 0; i+1 < k; i++ {
+			if has[i] && !has[i+1] && edgeWritten[i] != 0 && edgeWritten[i] < iter {
+				has[i+1] = true
+			}
+		}
+		// Phase 2: this iteration's updates run; holders write their
+		// edges, and Before-ordered readers consume and forward within
+		// the iteration (fixpoint over Before-runs).
+		for changed := true; changed; {
+			changed = false
+			for i := 0; i+1 < k; i++ {
+				if has[i] && edgeWritten[i] == 0 {
+					edgeWritten[i] = iter
+					changed = true
+				}
+				if has[i] && !has[i+1] && edgeWritten[i] == iter &&
+					sched.Relation(chain[i], chain[i+1], nv, p, d) == sched.Before {
+					has[i+1] = true
+					changed = true
+				}
+			}
+		}
+		if has[k-1] {
+			return iter
+		}
+	}
+	return 0
+}
+
+// WWRecoveryBound returns the worst-case extra iterations Theorem 2's
+// proof admits per write-write corruption of an edge: the losing (stale)
+// value is visible for at most one iteration, the owner's rewrite lands
+// in the next, and the dependent update consumes it the iteration after —
+// two added iterations per corruption, independent of P and d.
+func WWRecoveryBound(corruptions int) int {
+	if corruptions < 0 {
+		return 0
+	}
+	return 2 * corruptions
+}
+
+// GSCollapseFraction computes, for a random ascending chain dispatched
+// under Fig. 1, the fraction of hops that pass within one iteration
+// (relation Before) — the analytic form of the paper's observation that
+// asynchronous execution needs fewer iterations than BSP. For p = 1 every
+// ascending hop collapses (fraction 1, pure Gauss–Seidel); as p grows,
+// cross-thread ∥ windows reduce the fraction toward the BSP limit 0.
+func GSCollapseFraction(chainLen, nv, p, d int) float64 {
+	if chainLen < 2 {
+		return 1
+	}
+	collapsed := 0
+	for i := 0; i+1 < chainLen; i++ {
+		if sched.Relation(i, i+1, nv, p, d) == sched.Before {
+			collapsed++
+		}
+	}
+	return float64(collapsed) / float64(chainLen-1)
+}

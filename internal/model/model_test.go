@@ -1,0 +1,154 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func ascendingChain(k int) []int {
+	c := make([]int, k+1)
+	for i := range c {
+		c[i] = i
+	}
+	return c
+}
+
+func TestChainIterationsSingleThreadCollapses(t *testing.T) {
+	// p=1: pure Gauss–Seidel; an ascending chain passes end to end in one
+	// iteration regardless of length.
+	for _, k := range []int{1, 5, 50} {
+		if got := ChainIterations(ascendingChain(k), k+1, 1, 4); got != 1 {
+			t.Fatalf("k=%d: %d iterations, want 1", k, got)
+		}
+	}
+}
+
+func TestChainIterationsDescendingWorstCase(t *testing.T) {
+	// A descending chain under p=1 never passes within an iteration:
+	// every hop costs one iteration.
+	k := 10
+	chain := make([]int, k+1)
+	for i := range chain {
+		chain[i] = k - i
+	}
+	if got := ChainIterations(chain, k+1, 1, 4); got != 1+k {
+		t.Fatalf("descending: %d iterations, want %d", got, 1+k)
+	}
+}
+
+func TestChainIterationsTrivial(t *testing.T) {
+	if ChainIterations(nil, 10, 2, 3) != 1 {
+		t.Fatal("empty chain")
+	}
+	if ChainIterations([]int{5}, 10, 2, 3) != 1 {
+		t.Fatal("singleton chain")
+	}
+}
+
+func TestChainIterationsBSPLimit(t *testing.T) {
+	// With overlap everywhere (huge d), every hop costs an iteration —
+	// the BSP behavior the paper contrasts against.
+	k := 8
+	nv := k + 1
+	p := nv // one update per thread
+	d := nv * 10
+	if got := ChainIterations(ascendingChain(k), nv, p, d); got != 1+k {
+		t.Fatalf("BSP limit: %d, want %d", got, 1+k)
+	}
+}
+
+func TestSimulateMatchesAnalytic(t *testing.T) {
+	f := func(kRaw, pRaw, dRaw uint8) bool {
+		k := int(kRaw)%30 + 1
+		p := int(pRaw)%8 + 1
+		d := int(dRaw)%10 + 1
+		chain := ascendingChain(k)
+		nv := k + 1
+		analytic := ChainIterations(chain, nv, p, d)
+		simulated := SimulateChain(chain, nv, p, d, 10*(k+2))
+		return analytic == simulated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateMatchesAnalyticShuffled(t *testing.T) {
+	// Non-monotone label chains too.
+	chains := [][]int{
+		{0, 5, 2, 9, 1},
+		{9, 8, 7, 0, 3, 4},
+		{3, 1, 4, 1}, // repeated label: degenerate but defined
+	}
+	for _, chain := range chains {
+		nv := 10
+		for _, p := range []int{1, 2, 4} {
+			for _, d := range []int{1, 3, 8} {
+				a := ChainIterations(chain, nv, p, d)
+				s := SimulateChain(chain, nv, p, d, 200)
+				if a != s {
+					t.Fatalf("chain %v p=%d d=%d: analytic %d, simulated %d", chain, p, d, a, s)
+				}
+			}
+		}
+	}
+}
+
+func TestSimulateChainCap(t *testing.T) {
+	chain := []int{5, 4, 3, 2, 1, 0}
+	if got := SimulateChain(chain, 6, 1, 2, 2); got != 0 {
+		t.Fatalf("capped simulation = %d, want 0", got)
+	}
+}
+
+func TestWWRecoveryBound(t *testing.T) {
+	if WWRecoveryBound(0) != 0 || WWRecoveryBound(3) != 6 {
+		t.Fatal("bound mismatch")
+	}
+	if WWRecoveryBound(-1) != 0 {
+		t.Fatal("negative corruptions")
+	}
+}
+
+func TestGSCollapseFraction(t *testing.T) {
+	// p=1 ascending: full collapse.
+	if f := GSCollapseFraction(20, 20, 1, 4); f != 1 {
+		t.Fatalf("p=1 fraction = %v", f)
+	}
+	// More threads: collapse fraction cannot increase.
+	prev := 1.0
+	for _, p := range []int{1, 2, 4, 10, 20} {
+		f := GSCollapseFraction(20, 20, p, 4)
+		if f > prev+1e-12 {
+			t.Fatalf("fraction grew with threads: p=%d f=%v prev=%v", p, f, prev)
+		}
+		prev = f
+	}
+	// Degenerate chain.
+	if GSCollapseFraction(1, 10, 2, 3) != 1 {
+		t.Fatal("short chain fraction")
+	}
+}
+
+func TestMoreThreadsNeverFewerIterations(t *testing.T) {
+	// Adding threads can only break ≺ hops into ∥ ones, so predicted
+	// iterations are non-decreasing in p for a fixed ascending chain.
+	f := func(kRaw, dRaw uint8) bool {
+		k := int(kRaw)%40 + 2
+		d := int(dRaw)%8 + 1
+		chain := ascendingChain(k)
+		nv := k + 1
+		prev := 0
+		for p := 1; p <= 8; p++ {
+			it := ChainIterations(chain, nv, p, d)
+			if it < prev {
+				return false
+			}
+			prev = it
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package push
+
+import (
+	"math"
+
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/graph"
+)
+
+// BFS runs push-mode breadth-first search from source and returns the hop
+// distances (+Inf where unreachable).
+func BFS(g *graph.Graph, source uint32, mode Mode, threads int) ([]float64, Result, error) {
+	e, err := NewEngine(g, mode, threads)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	inf := edgedata.FromFloat64(math.Inf(1))
+	for v := range e.Vertices {
+		e.Vertices[v] = inf
+	}
+	e.Vertices[source] = edgedata.FromFloat64(0)
+	e.Frontier().ScheduleNow(int(source))
+	res, err := e.Run(Relax{
+		Message: func(srcVal uint64, _ uint32) uint64 {
+			return edgedata.FromFloat64(edgedata.ToFloat64(srcVal) + 1)
+		},
+		Better: lessFloat,
+	})
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return decodeFloats(e.Vertices), res, nil
+}
+
+// SSSP runs push-mode single-source shortest paths over the given per-edge
+// weights (canonical edge index order).
+func SSSP(g *graph.Graph, source uint32, weights []float64, mode Mode, threads int) ([]float64, Result, error) {
+	e, err := NewEngine(g, mode, threads)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	inf := edgedata.FromFloat64(math.Inf(1))
+	for v := range e.Vertices {
+		e.Vertices[v] = inf
+	}
+	e.Vertices[source] = edgedata.FromFloat64(0)
+	e.Frontier().ScheduleNow(int(source))
+	res, err := e.Run(Relax{
+		Message: func(srcVal uint64, eIdx uint32) uint64 {
+			return edgedata.FromFloat64(edgedata.ToFloat64(srcVal) + weights[eIdx])
+		},
+		Better: lessFloat,
+	})
+	if err != nil {
+		return nil, Result{}, err
+	}
+	return decodeFloats(e.Vertices), res, nil
+}
+
+// WCC runs push-mode weakly-connected components; because pushes only flow
+// along out-edges, the graph is symmetrized first so labels can travel both
+// ways, matching the "weakly" connected semantics.
+func WCC(g *graph.Graph, mode Mode, threads int) ([]uint32, Result, error) {
+	u := g.Undirected()
+	e, err := NewEngine(u, mode, threads)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	for v := range e.Vertices {
+		e.Vertices[v] = uint64(v)
+	}
+	e.Frontier().ScheduleAll()
+	res, err := e.Run(Relax{
+		Message: func(srcVal uint64, _ uint32) uint64 { return srcVal },
+		Better:  func(c, cur uint64) bool { return c < cur },
+	})
+	if err != nil {
+		return nil, Result{}, err
+	}
+	labels := make([]uint32, len(e.Vertices))
+	for v, w := range e.Vertices {
+		labels[v] = uint32(w)
+	}
+	return labels, res, nil
+}
+
+func lessFloat(c, cur uint64) bool {
+	return edgedata.ToFloat64(c) < edgedata.ToFloat64(cur)
+}
+
+func decodeFloats(words []uint64) []float64 {
+	out := make([]float64, len(words))
+	for i, w := range words {
+		out[i] = edgedata.ToFloat64(w)
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+// Package push implements the push-mode execution model the paper
+// contrasts with its pull-mode system model and defers to future work
+// ("more sufficient conditions (e.g., those considering the push mode)").
+//
+// In push mode (Ligra-style) the data dependences live on the *vertices*:
+// the update of v pushes a message along each out-edge directly into the
+// destination's data word, combining it with a monotone "better-of"
+// operation. Two atomicity disciplines are provided:
+//
+//   - ModeCAS: the combine is a compare-and-swap retry loop — the paper's
+//     description of Ligra ("use atomic compare-and-swap to guarantee the
+//     atomicity"). Lost updates are impossible, so monotone push
+//     algorithms converge to exact results.
+//   - ModePlain: the combine is a racy read-test-write relying only on
+//     word atomicity. Unlike the pull-mode edge scenario of the paper's
+//     Theorem 2, a lost push is NOT retried by a later iteration (the
+//     loser believes it won and never re-pushes), so per-operation
+//     atomicity alone is *insufficient* in push mode — an instructive
+//     negative result that complements the paper's pull-mode findings.
+//     Valid only single-threaded, where it is exact.
+package push
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"ndgraph/internal/frontier"
+	"ndgraph/internal/graph"
+	"ndgraph/internal/sched"
+)
+
+// Mode selects the push combine discipline.
+type Mode int
+
+const (
+	// ModeCAS uses compare-and-swap retry loops (exact under parallelism).
+	ModeCAS Mode = iota
+	// ModePlain uses racy read-test-write (exact only single-threaded).
+	ModePlain
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeCAS {
+		return "cas"
+	}
+	return "plain"
+}
+
+// Relax describes a monotone push computation.
+type Relax struct {
+	// Message computes the value pushed along canonical edge e from the
+	// source's current value.
+	Message func(srcVal uint64, e uint32) uint64
+	// Better reports whether candidate strictly improves on current; the
+	// destination adopts candidate when true. Better must be a strict
+	// partial improvement test (irreflexive) or the computation will not
+	// quiesce.
+	Better func(candidate, current uint64) bool
+}
+
+// Result summarizes a push run.
+type Result struct {
+	Iterations int
+	Pushes     int64 // edge relaxations attempted
+	Wins       int64 // relaxations that improved the destination
+	Converged  bool
+	Duration   time.Duration
+}
+
+// Engine executes monotone push computations over a graph.
+type Engine struct {
+	g    *graph.Graph
+	mode Mode
+	p    int
+
+	// Vertices holds the per-vertex data words; accessed atomically in
+	// ModeCAS.
+	Vertices []uint64
+
+	front    *frontier.Frontier
+	maxIters int
+}
+
+// NewEngine builds a push engine. threads < 1 defaults to GOMAXPROCS;
+// ModePlain with more than one thread is rejected.
+func NewEngine(g *graph.Graph, mode Mode, threads int) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("push: nil graph")
+	}
+	if threads < 1 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if mode == ModePlain && threads > 1 {
+		return nil, fmt.Errorf("push: ModePlain is only exact single-threaded; refusing %d threads (lost pushes are never retried)", threads)
+	}
+	return &Engine{
+		g:        g,
+		mode:     mode,
+		p:        threads,
+		Vertices: make([]uint64, g.N()),
+		front:    frontier.NewFrontier(g.N()),
+		maxIters: 1 << 20,
+	}, nil
+}
+
+// Frontier exposes the scheduled set for seeding.
+func (e *Engine) Frontier() *frontier.Frontier { return e.front }
+
+// Run pushes to quiescence: each iteration relaxes every out-edge of every
+// scheduled vertex; destinations that improve are scheduled for the next
+// iteration.
+func (e *Engine) Run(r Relax) (Result, error) {
+	if r.Message == nil || r.Better == nil {
+		return Result{}, fmt.Errorf("push: Relax requires Message and Better")
+	}
+	var pushes, wins atomic.Int64
+	res := Result{Converged: true}
+	start := time.Now()
+	for e.front.Size() > 0 {
+		if res.Iterations >= e.maxIters {
+			res.Converged = false
+			break
+		}
+		sched.ParallelBlocks(e.front.Members(), e.p, func(_ int, vi int) {
+			v := uint32(vi)
+			srcVal := e.load(v)
+			lo, _ := e.g.OutEdgeIndex(v)
+			for k, u := range e.g.OutNeighbors(v) {
+				cand := r.Message(srcVal, lo+uint32(k))
+				pushes.Add(1)
+				if e.combine(u, cand, r.Better) {
+					wins.Add(1)
+					e.front.Schedule(int(u))
+				}
+			}
+		})
+		res.Iterations++
+		e.front.Advance()
+	}
+	res.Pushes = pushes.Load()
+	res.Wins = wins.Load()
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+func (e *Engine) load(v uint32) uint64 {
+	if e.mode == ModeCAS {
+		return atomic.LoadUint64(&e.Vertices[v])
+	}
+	return e.Vertices[v]
+}
+
+// combine installs cand into u's word if it improves, returning whether it
+// won. ModeCAS retries until the candidate is installed or no longer an
+// improvement; ModePlain does one racy read-test-write.
+func (e *Engine) combine(u uint32, cand uint64, better func(c, cur uint64) bool) bool {
+	if e.mode == ModePlain {
+		if better(cand, e.Vertices[u]) {
+			e.Vertices[u] = cand
+			return true
+		}
+		return false
+	}
+	for {
+		cur := atomic.LoadUint64(&e.Vertices[u])
+		if !better(cand, cur) {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(&e.Vertices[u], cur, cand) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package push
+
+import (
+	"math"
+	"testing"
+
+	"ndgraph/internal/algorithms"
+	"ndgraph/internal/gen"
+)
+
+func TestNewEngineValidation(t *testing.T) {
+	g, _ := gen.Ring(4)
+	if _, err := NewEngine(nil, ModeCAS, 1); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := NewEngine(g, ModePlain, 4); err == nil {
+		t.Error("parallel ModePlain accepted (lost pushes are never retried)")
+	}
+	if _, err := NewEngine(g, ModePlain, 1); err != nil {
+		t.Errorf("single-threaded ModePlain rejected: %v", err)
+	}
+}
+
+func TestRunRequiresRelaxFuncs(t *testing.T) {
+	g, _ := gen.Ring(4)
+	e, err := NewEngine(g, ModeCAS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(Relax{}); err == nil {
+		t.Fatal("empty Relax accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeCAS.String() != "cas" || ModePlain.String() != "plain" {
+		t.Fatal("Mode.String mismatch")
+	}
+}
+
+func TestPushBFSMatchesPull(t *testing.T) {
+	g, err := gen.RMAT(400, 2400, gen.DefaultRMAT, 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 4} {
+		dist, res, err := BFS(g, 0, ModeCAS, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("threads=%d: did not converge", threads)
+		}
+		want := referencePushBFS(g, 0)
+		for v := range want {
+			if dist[v] != want[v] {
+				t.Fatalf("threads=%d: dist[%d] = %v, want %v", threads, v, dist[v], want[v])
+			}
+		}
+	}
+}
+
+func referencePushBFS(g interface {
+	N() int
+	OutNeighbors(uint32) []uint32
+}, source uint32) []float64 {
+	dist := make([]float64, g.N())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[source] = 0
+	queue := []uint32{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.OutNeighbors(v) {
+			if math.IsInf(dist[u], 1) {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+func TestPushSSSPMatchesDijkstra(t *testing.T) {
+	g, err := gen.RMAT(300, 1800, gen.DefaultRMAT, 82)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := algorithms.NewSSSP(g, 2, 13)
+	want := algorithms.ReferenceSSSP(g, 2, s.Weights)
+	dist, res, err := SSSP(g, 2, s.Weights, ModeCAS, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("dist[%d] = %v, want %v", v, dist[v], want[v])
+		}
+	}
+}
+
+func TestPushWCCMatchesUnionFind(t *testing.T) {
+	g, err := gen.RMAT(300, 1200, gen.DefaultRMAT, 83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.ReferenceWCC(g)
+	for _, mode := range []Mode{ModeCAS, ModePlain} {
+		threads := 4
+		if mode == ModePlain {
+			threads = 1
+		}
+		labels, res, err := WCC(g, mode, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("%v: did not converge", mode)
+		}
+		for v := range want {
+			if labels[v] != want[v] {
+				t.Fatalf("%v: label[%d] = %d, want %d", mode, v, labels[v], want[v])
+			}
+		}
+	}
+}
+
+func TestPushStatsAccounting(t *testing.T) {
+	g, err := gen.Chain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, res, err := BFS(g, 0, ModeCAS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist[9] != 9 {
+		t.Fatalf("chain end dist = %v", dist[9])
+	}
+	// Each of the 9 edges is relaxed at least once and wins exactly once.
+	if res.Wins != 9 {
+		t.Fatalf("Wins = %d, want 9", res.Wins)
+	}
+	if res.Pushes < res.Wins {
+		t.Fatalf("Pushes (%d) < Wins (%d)", res.Pushes, res.Wins)
+	}
+	if res.Iterations != 10 {
+		t.Fatalf("Iterations = %d, want 10 (9 hops + quiesce)", res.Iterations)
+	}
+}
+
+func BenchmarkPushBFS(b *testing.B) {
+	g, err := gen.RMAT(2000, 16000, gen.DefaultRMAT, 84)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := BFS(g, 0, ModeCAS, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

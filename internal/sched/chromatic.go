@@ -1,0 +1,83 @@
+package sched
+
+import "ndgraph/internal/graph"
+
+// Colors greedily colors the conflict graph of g — two vertices conflict
+// if any edge connects them in either direction, since their update
+// functions would then share that edge's data word — and returns the color
+// of each vertex plus the number of colors used. Vertices are colored in
+// ascending label order with the smallest color not used by an already
+// colored conflicting neighbor, the standard greedy bound of Δ+1 colors.
+//
+// The chromatic scheduler executes one color class at a time; within a
+// class no two updates share an edge, so intra-class parallelism is
+// conflict-free and the overall execution is deterministic.
+func Colors(g *graph.Graph) ([]uint32, int) {
+	n := g.N()
+	colors := make([]uint32, n)
+	for i := range colors {
+		colors[i] = ^uint32(0) // uncolored
+	}
+	numColors := 0
+	var used []bool
+	for v := uint32(0); int(v) < n; v++ {
+		if cap(used) < numColors+2 {
+			used = make([]bool, 0, 2*(numColors+2))
+		}
+		used = used[:numColors+1]
+		for i := range used {
+			used[i] = false
+		}
+		mark := func(u uint32) {
+			if c := colors[u]; c != ^uint32(0) && int(c) < len(used) {
+				used[c] = true
+			}
+		}
+		for _, u := range g.OutNeighbors(v) {
+			mark(u)
+		}
+		for _, u := range g.InNeighbors(v) {
+			mark(u)
+		}
+		c := uint32(0)
+		for int(c) < len(used) && used[c] {
+			c++
+		}
+		colors[v] = c
+		if int(c) == numColors {
+			numColors++
+		}
+	}
+	if n == 0 {
+		return colors, 0
+	}
+	return colors, numColors
+}
+
+// ValidateColoring checks that no two adjacent vertices of g share a
+// color. Self-loops are ignored (a vertex trivially shares its own color).
+func ValidateColoring(g *graph.Graph, colors []uint32) bool {
+	if len(colors) != g.N() {
+		return false
+	}
+	for v := uint32(0); int(v) < g.N(); v++ {
+		for _, u := range g.OutNeighbors(v) {
+			if u != v && colors[u] == colors[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ColorClasses partitions the scheduled items (ascending vertex labels)
+// into per-color slices, preserving ascending order inside each class.
+// Classes for colors that have no scheduled member are empty slices.
+func ColorClasses(items []int, colors []uint32, numColors int) [][]int {
+	classes := make([][]int, numColors)
+	for _, v := range items {
+		c := colors[v]
+		classes[c] = append(classes[c], v)
+	}
+	return classes
+}

@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Dispatch selects how a parallel scheduler assigns scheduled updates to
+// workers within an iteration.
+type Dispatch int
+
+const (
+	// Static is the paper's Fig. 1 policy: contiguous label blocks, one
+	// per worker, fixed before the iteration starts (OpenMP static).
+	Static Dispatch = iota
+	// Dynamic hands out fixed-size chunks from a shared cursor as workers
+	// free up (OpenMP dynamic). It trades the predictable π order — and
+	// with it the paper's order model — for load balance on skewed
+	// degree distributions.
+	Dynamic
+)
+
+// String names the dispatch policy.
+func (d Dispatch) String() string {
+	if d == Static {
+		return "static"
+	}
+	return "dynamic"
+}
+
+// ParseDispatch maps a name back to a Dispatch.
+func ParseDispatch(s string) (Dispatch, bool) {
+	switch s {
+	case "static":
+		return Static, true
+	case "dynamic":
+		return Dynamic, true
+	default:
+		return 0, false
+	}
+}
+
+// DefaultChunk is the dynamic-dispatch chunk size: large enough to
+// amortize the shared-cursor contention, small enough to balance hubs.
+const DefaultChunk = 64
+
+// ParallelChunks dispatches items over p workers dynamically: workers
+// claim consecutive chunks of the given size from an atomic cursor until
+// the items are exhausted, then the call returns (the iteration barrier).
+// Items within a chunk run in slice order, so ascending inputs still run
+// small-label-first *within a chunk*; across chunks the assignment is
+// timing-dependent.
+func ParallelChunks(items []int, p, chunk int, fn func(worker, item int)) {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	if p <= 1 || len(items) <= chunk {
+		for _, it := range items {
+			fn(0, it)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= len(items) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(items) {
+					hi = len(items)
+				}
+				for _, it := range items[lo:hi] {
+					fn(w, it)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

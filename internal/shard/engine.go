@@ -1,0 +1,286 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"ndgraph/internal/core"
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/frontier"
+	"ndgraph/internal/sched"
+)
+
+// Options configures a PSW execution.
+type Options struct {
+	// Threads is the intra-interval worker count; < 1 = GOMAXPROCS.
+	Threads int
+	// Mode is the atomicity method for the in-memory window buffers.
+	// Parallel execution refuses ModeSequential.
+	Mode edgedata.Mode
+	// MaxIters caps full passes over the intervals; 0 = 1<<20.
+	MaxIters int
+}
+
+// Result reports a PSW run.
+type Result struct {
+	Iterations   int
+	Updates      int64
+	Converged    bool
+	Duration     time.Duration
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Engine executes update functions over sharded storage with the
+// parallel-sliding-windows schedule.
+type Engine struct {
+	st   *Storage
+	opts Options
+
+	front *frontier.Frontier
+}
+
+// NewEngine binds an executor to storage.
+func NewEngine(st *Storage, opts Options) (*Engine, error) {
+	if st == nil {
+		return nil, fmt.Errorf("shard: nil storage")
+	}
+	if opts.Threads < 1 {
+		opts.Threads = runtime.GOMAXPROCS(0)
+	}
+	if opts.Threads > 1 && opts.Mode == edgedata.ModeSequential {
+		return nil, fmt.Errorf("shard: %d threads require a concurrent edge-data mode", opts.Threads)
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = 1 << 20
+	}
+	return &Engine{st: st, opts: opts, front: frontier.NewFrontier(st.N())}, nil
+}
+
+// Frontier exposes the scheduled set for seeding.
+func (e *Engine) Frontier() *frontier.Frontier { return e.front }
+
+// Run executes update to convergence. One iteration is one pass over all
+// intervals; within the pass, interval i's subgraph (shard i in full plus
+// the interval's window from every other shard) is loaded, scheduled
+// vertices of the interval execute in parallel, and dirty values are
+// written back before the next interval loads — so later intervals see
+// earlier intervals' writes (asynchronous semantics across intervals, as
+// in GraphChi).
+func (e *Engine) Run(update core.UpdateFunc) (Result, error) {
+	if update == nil {
+		return Result{}, fmt.Errorf("shard: nil update function")
+	}
+	res := Result{Converged: true}
+	start := time.Now()
+	for e.front.Size() > 0 {
+		if res.Iterations >= e.opts.MaxIters {
+			res.Converged = false
+			break
+		}
+		members := e.front.Members()
+		cursor := 0
+		for i := range e.st.intervals {
+			iv := e.st.intervals[i]
+			// Scheduled vertices of this interval (members ascending).
+			lo := cursor
+			for cursor < len(members) && uint32(members[cursor]) < iv.Hi {
+				cursor++
+			}
+			scheduled := members[lo:cursor]
+			if len(scheduled) == 0 {
+				continue
+			}
+			sub, err := e.load(i)
+			if err != nil {
+				return res, err
+			}
+			res.BytesRead += sub.bytesRead
+
+			run := func(worker, v int) {
+				view := &sub.views[worker]
+				view.bind(uint32(v))
+				update(view)
+			}
+			sched.ParallelBlocks(scheduled, e.opts.Threads, run)
+			res.Updates += int64(len(scheduled))
+
+			written, err := e.flush(sub)
+			if err != nil {
+				return res, err
+			}
+			res.BytesWritten += written
+		}
+		res.Iterations++
+		e.front.Advance()
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// loadedRange maps a slice of the in-memory value store back to its
+// on-disk location.
+type loadedRange struct {
+	shard    int
+	off      int64 // record offset within the shard
+	count    int64
+	slotBase uint32 // first slot in the combined store
+}
+
+// subgraph is interval i's in-memory working set.
+type subgraph struct {
+	interval  Interval
+	store     edgedata.Store
+	ranges    []loadedRange
+	bytesRead int64
+
+	// Per local vertex adjacency: in-edges (from shard i) and out-edges
+	// (from the windows).
+	inSrc   [][]uint32
+	inSlot  [][]uint32
+	outDst  [][]uint32
+	outSlot [][]uint32
+
+	views []shardView
+	eng   *Engine
+}
+
+// load builds interval i's subgraph from disk.
+func (e *Engine) load(i int) (*subgraph, error) {
+	iv := e.st.intervals[i]
+	sub := &subgraph{
+		interval: iv,
+		eng:      e,
+		inSrc:    make([][]uint32, iv.Len()),
+		inSlot:   make([][]uint32, iv.Len()),
+		outDst:   make([][]uint32, iv.Len()),
+		outSlot:  make([][]uint32, iv.Len()),
+	}
+
+	// Plan the loads: shard i in full, plus interval i's window from
+	// every other shard. The window of shard i over interval i is a
+	// subrange of the full shard, so it is not loaded twice.
+	var plan []loadedRange
+	total := int64(0)
+	fullShard := loadedRange{shard: i, off: 0, count: e.st.shards[i].Edges}
+	fullShard.slotBase = 0
+	total += fullShard.count
+	plan = append(plan, fullShard)
+	for k := range e.st.shards {
+		if k == i {
+			continue
+		}
+		w := e.st.shards[k].Windows[i]
+		if w.Count == 0 {
+			continue
+		}
+		plan = append(plan, loadedRange{shard: k, off: w.Off, count: w.Count, slotBase: uint32(total)})
+		total += w.Count
+	}
+
+	sub.store = edgedata.New(e.opts.Mode, int(total))
+	vals := make([]uint64, total)
+	slot := int64(0)
+	for _, r := range plan {
+		recs, err := e.st.readRecords(r.shard, r.off, r.count)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.st.readValues(r.shard, r.off, r.count, vals[slot:slot+r.count]); err != nil {
+			return nil, err
+		}
+		sub.bytesRead += r.count * (recordBytes + valueBytes)
+		// Index adjacency.
+		isFull := r.shard == i
+		for j := int64(0); j < r.count; j++ {
+			src, dst := recs[2*j], recs[2*j+1]
+			s := uint32(slot + j)
+			if isFull {
+				// In-edge of dst (dst ∈ interval i by shard invariant).
+				lv := dst - iv.Lo
+				sub.inSrc[lv] = append(sub.inSrc[lv], src)
+				sub.inSlot[lv] = append(sub.inSlot[lv], s)
+				// The diagonal block doubles as out-edges of interval i.
+				if iv.Contains(src) {
+					lo := src - iv.Lo
+					sub.outDst[lo] = append(sub.outDst[lo], dst)
+					sub.outSlot[lo] = append(sub.outSlot[lo], s)
+				}
+			} else {
+				// Window record: out-edge of src (src ∈ interval i).
+				lv := src - iv.Lo
+				sub.outDst[lv] = append(sub.outDst[lv], dst)
+				sub.outSlot[lv] = append(sub.outSlot[lv], s)
+			}
+		}
+		slot += r.count
+	}
+	for j, v := range vals {
+		sub.store.Store(uint32(j), v)
+	}
+	sub.ranges = plan
+	sub.views = make([]shardView, e.opts.Threads)
+	for w := range sub.views {
+		sub.views[w].sub = sub
+	}
+	return sub, nil
+}
+
+// flush writes the working set's values back to their shards.
+func (e *Engine) flush(sub *subgraph) (int64, error) {
+	var written int64
+	snap := sub.store.Snapshot()
+	for _, r := range sub.ranges {
+		if err := e.st.writeValues(r.shard, r.off, r.count, snap[r.slotBase:int64(r.slotBase)+r.count]); err != nil {
+			return written, err
+		}
+		written += r.count * valueBytes
+	}
+	return written, nil
+}
+
+// shardView adapts a loaded subgraph to core.VertexView.
+type shardView struct {
+	sub *subgraph
+	v   uint32
+	lv  uint32 // v - interval.Lo
+}
+
+func (c *shardView) bind(v uint32) {
+	c.v = v
+	c.lv = v - c.sub.interval.Lo
+}
+
+func (c *shardView) V() uint32                { return c.v }
+func (c *shardView) Vertex() uint64           { return c.sub.eng.st.Vertices[c.v] }
+func (c *shardView) SetVertex(w uint64)       { c.sub.eng.st.Vertices[c.v] = w }
+func (c *shardView) InDegree() int            { return len(c.sub.inSrc[c.lv]) }
+func (c *shardView) OutDegree() int           { return len(c.sub.outDst[c.lv]) }
+func (c *shardView) InNeighbor(k int) uint32  { return c.sub.inSrc[c.lv][k] }
+func (c *shardView) OutNeighbor(k int) uint32 { return c.sub.outDst[c.lv][k] }
+
+// InEdgeID and OutEdgeID return window-local slot ids; they are stable
+// within one interval execution but NOT across iterations, so shard-based
+// runs only suit algorithms without immutable per-edge side arrays (the
+// canonical-index contract of the in-memory engine does not transfer).
+func (c *shardView) InEdgeID(k int) uint32  { return c.sub.inSlot[c.lv][k] }
+func (c *shardView) OutEdgeID(k int) uint32 { return c.sub.outSlot[c.lv][k] }
+
+func (c *shardView) InEdgeVal(k int) uint64  { return c.sub.store.Load(c.sub.inSlot[c.lv][k]) }
+func (c *shardView) OutEdgeVal(k int) uint64 { return c.sub.store.Load(c.sub.outSlot[c.lv][k]) }
+
+func (c *shardView) SetInEdgeVal(k int, w uint64) {
+	c.sub.store.Store(c.sub.inSlot[c.lv][k], w)
+	c.sub.eng.front.Schedule(int(c.sub.inSrc[c.lv][k]))
+}
+
+func (c *shardView) SetOutEdgeVal(k int, w uint64) {
+	c.sub.store.Store(c.sub.outSlot[c.lv][k], w)
+	c.sub.eng.front.Schedule(int(c.sub.outDst[c.lv][k]))
+}
+
+func (c *shardView) ScheduleSelf() { c.sub.eng.front.Schedule(int(c.v)) }
+func (c *shardView) Yield()        {}
+
+var _ core.VertexView = (*shardView)(nil)

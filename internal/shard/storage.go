@@ -1,0 +1,345 @@
+// Package shard implements a GraphChi-style out-of-core storage and
+// execution layer: the Parallel Sliding Windows (PSW) scheme of Kyrola,
+// Blelloch & Guestrin (OSDI'12), the system the paper hosts its
+// experiments on.
+//
+// Vertices are split into K intervals balanced by in-edge count. Shard k
+// stores, on disk, every edge whose destination lies in interval k,
+// sorted by source; a parallel value file stores each edge's mutable
+// 64-bit data word. Because shards are source-sorted, the out-edges of
+// interval i form one contiguous *window* in every shard, so executing
+// interval i requires reading shard i in full (the in-edges) plus one
+// window from each other shard (the out-edges) — K sequential reads
+// instead of random access.
+//
+// The paper notes GraphChi's in-memory footprint was small enough that
+// its graphs stayed resident; this package exists to reproduce the host
+// system faithfully and to let the framework run graphs larger than
+// memory. Within an interval, scheduled updates execute under the same
+// nondeterministic block dispatch and per-operation atomicity modes as
+// the in-memory engine, so the paper's eligibility results carry over
+// unchanged.
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ndgraph/internal/graph"
+)
+
+const (
+	recordBytes = 8 // src uint32 + dst uint32
+	valueBytes  = 8 // one uint64 data word
+)
+
+// Interval is a half-open vertex range [Lo, Hi).
+type Interval struct {
+	Lo, Hi uint32
+}
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v uint32) bool { return v >= iv.Lo && v < iv.Hi }
+
+// Len returns the number of vertices in the interval.
+func (iv Interval) Len() int { return int(iv.Hi - iv.Lo) }
+
+// window is the contiguous record range of one source interval within a
+// shard: records [Off, Off+Count) of the shard hold the edges with
+// src ∈ that interval.
+type window struct {
+	Off   int64 // record index within the shard
+	Count int64
+}
+
+// shardMeta describes one on-disk shard.
+type shardMeta struct {
+	Edges   int64
+	Windows []window // indexed by source interval
+}
+
+// Storage is an on-disk sharded graph plus its execution metadata.
+type Storage struct {
+	dir       string
+	n         int
+	intervals []Interval
+	shards    []shardMeta
+
+	// Vertex data stays in memory, as in GraphChi.
+	Vertices []uint64
+}
+
+// Build shards g into dir (created if needed) with numShards intervals
+// balanced by in-edge count, and zero-initialized edge values.
+func Build(g *graph.Graph, dir string, numShards int) (*Storage, error) {
+	if g == nil {
+		return nil, fmt.Errorf("shard: nil graph")
+	}
+	if numShards < 1 {
+		return nil, fmt.Errorf("shard: need at least one shard (got %d)", numShards)
+	}
+	if numShards > g.N() && g.N() > 0 {
+		numShards = g.N()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	s := &Storage{
+		dir:      dir,
+		n:        g.N(),
+		Vertices: make([]uint64, g.N()),
+	}
+	s.intervals = balanceIntervals(g, numShards)
+
+	// Emit each shard: edges with dst in the interval, sorted by (src,
+	// dst). The canonical edge order of graph.Graph is (src, dst)-sorted,
+	// so walking vertices in order and filtering by dst-interval yields
+	// records already in shard order.
+	for k, iv := range s.intervals {
+		meta := shardMeta{Windows: make([]window, len(s.intervals))}
+		ef, err := os.Create(s.edgePath(k))
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, 0, 1<<16)
+		srcInterval := 0
+		for v := uint32(0); int(v) < g.N(); v++ {
+			for srcInterval+1 < len(s.intervals) && v >= s.intervals[srcInterval].Hi {
+				srcInterval++
+			}
+			for _, d := range g.OutNeighbors(v) {
+				if !iv.Contains(d) {
+					continue
+				}
+				if meta.Windows[srcInterval].Count == 0 {
+					meta.Windows[srcInterval].Off = meta.Edges
+				}
+				meta.Windows[srcInterval].Count++
+				var rec [recordBytes]byte
+				binary.LittleEndian.PutUint32(rec[0:4], v)
+				binary.LittleEndian.PutUint32(rec[4:8], d)
+				buf = append(buf, rec[:]...)
+				meta.Edges++
+				if len(buf) >= 1<<16 {
+					if _, err := ef.Write(buf); err != nil {
+						ef.Close()
+						return nil, err
+					}
+					buf = buf[:0]
+				}
+			}
+		}
+		if len(buf) > 0 {
+			if _, err := ef.Write(buf); err != nil {
+				ef.Close()
+				return nil, err
+			}
+		}
+		if err := ef.Close(); err != nil {
+			return nil, err
+		}
+		// Zero value file of matching length.
+		vf, err := os.Create(s.valuePath(k))
+		if err != nil {
+			return nil, err
+		}
+		if meta.Edges > 0 {
+			if err := vf.Truncate(meta.Edges * valueBytes); err != nil {
+				vf.Close()
+				return nil, err
+			}
+		}
+		if err := vf.Close(); err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, meta)
+	}
+	return s, nil
+}
+
+// balanceIntervals splits vertices into numShards intervals with roughly
+// equal in-edge counts (GraphChi's balancing criterion: shard sizes).
+func balanceIntervals(g *graph.Graph, numShards int) []Interval {
+	n := g.N()
+	if n == 0 {
+		return []Interval{{0, 0}}
+	}
+	m := g.M()
+	target := (m + numShards - 1) / numShards
+	intervals := make([]Interval, 0, numShards)
+	lo := uint32(0)
+	acc := 0
+	for v := uint32(0); int(v) < n; v++ {
+		acc += g.InDegree(v)
+		remainingShards := numShards - len(intervals)
+		remainingVerts := n - int(v) - 1
+		if (acc >= target || remainingVerts < remainingShards-1) && len(intervals) < numShards-1 {
+			intervals = append(intervals, Interval{lo, v + 1})
+			lo = v + 1
+			acc = 0
+		}
+	}
+	intervals = append(intervals, Interval{lo, uint32(n)})
+	return intervals
+}
+
+// NumShards returns the shard (and interval) count.
+func (s *Storage) NumShards() int { return len(s.intervals) }
+
+// Intervals returns the vertex intervals.
+func (s *Storage) Intervals() []Interval { return s.intervals }
+
+// N returns the vertex count.
+func (s *Storage) N() int { return s.n }
+
+// M returns the total edge count across shards.
+func (s *Storage) M() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		total += sh.Edges
+	}
+	return total
+}
+
+func (s *Storage) edgePath(k int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%03d.edges", k))
+}
+
+func (s *Storage) valuePath(k int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("shard-%03d.values", k))
+}
+
+// intervalOf returns the interval index containing v.
+func (s *Storage) intervalOf(v uint32) int {
+	lo, hi := 0, len(s.intervals)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.intervals[mid].Hi <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// readRecords reads count edge records of shard k starting at record off.
+func (s *Storage) readRecords(k int, off, count int64) ([]uint32, error) {
+	if count == 0 {
+		return nil, nil
+	}
+	f, err := os.Open(s.edgePath(k))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, count*recordBytes)
+	if _, err := f.ReadAt(buf, off*recordBytes); err != nil {
+		return nil, fmt.Errorf("shard: reading %s records [%d,%d): %w", s.edgePath(k), off, off+count, err)
+	}
+	out := make([]uint32, 2*count)
+	for i := int64(0); i < 2*count; i++ {
+		out[i] = binary.LittleEndian.Uint32(buf[i*4 : i*4+4])
+	}
+	return out, nil
+}
+
+// readValues reads count edge values of shard k starting at record off.
+func (s *Storage) readValues(k int, off, count int64, dst []uint64) error {
+	if count == 0 {
+		return nil
+	}
+	f, err := os.Open(s.valuePath(k))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, count*valueBytes)
+	if _, err := f.ReadAt(buf, off*valueBytes); err != nil {
+		return fmt.Errorf("shard: reading %s values: %w", s.valuePath(k), err)
+	}
+	for i := int64(0); i < count; i++ {
+		dst[i] = binary.LittleEndian.Uint64(buf[i*8 : i*8+8])
+	}
+	return nil
+}
+
+// writeValues writes count edge values of shard k starting at record off.
+func (s *Storage) writeValues(k int, off, count int64, src []uint64) error {
+	if count == 0 {
+		return nil
+	}
+	f, err := os.OpenFile(s.valuePath(k), os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, count*valueBytes)
+	for i := int64(0); i < count; i++ {
+		binary.LittleEndian.PutUint64(buf[i*8:i*8+8], src[i])
+	}
+	if _, err := f.WriteAt(buf, off*valueBytes); err != nil {
+		return fmt.Errorf("shard: writing %s values: %w", s.valuePath(k), err)
+	}
+	return nil
+}
+
+// FillValues sets every edge value in every shard to w (algorithm
+// initialization, e.g. +Inf for SSSP or ^0 for WCC).
+func (s *Storage) FillValues(w uint64) error {
+	for k := range s.shards {
+		count := s.shards[k].Edges
+		if count == 0 {
+			continue
+		}
+		vals := make([]uint64, count)
+		for i := range vals {
+			vals[i] = w
+		}
+		if err := s.writeValues(k, 0, count, vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetEdgeValues initializes edge values from a function of the edge's
+// endpoints, streaming shard by shard (used by Setup adapters:
+// fn(src, dst) returns the initial data word of edge src→dst).
+func (s *Storage) SetEdgeValues(fn func(src, dst uint32) uint64) error {
+	for k := range s.shards {
+		count := s.shards[k].Edges
+		if count == 0 {
+			continue
+		}
+		recs, err := s.readRecords(k, 0, count)
+		if err != nil {
+			return err
+		}
+		vals := make([]uint64, count)
+		for i := int64(0); i < count; i++ {
+			vals[i] = fn(recs[2*i], recs[2*i+1])
+		}
+		if err := s.writeValues(k, 0, count, vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DiskUsage returns the total bytes of all shard files.
+func (s *Storage) DiskUsage() (int64, error) {
+	var total int64
+	for k := range s.shards {
+		for _, p := range []string{s.edgePath(k), s.valuePath(k)} {
+			fi, err := os.Stat(p)
+			if err != nil {
+				return 0, err
+			}
+			total += fi.Size()
+		}
+	}
+	return total, nil
+}

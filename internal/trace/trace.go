@@ -1,0 +1,184 @@
+// Package trace records execution paths of engine runs: which update ran
+// in which iteration on which worker, and which edges it wrote. The paper
+// frames deterministic scheduling as "plotting the execution path of the
+// updates" and attributes its overhead to exactly this bookkeeping;
+// recording the path of a nondeterministic run makes the difference
+// between runs tangible — two deterministic runs produce identical traces,
+// two nondeterministic runs do not.
+//
+// The recorder is lock-free on the hot path (one atomic append cursor)
+// and bounded: traces longer than the configured capacity drop the tail
+// and report truncation rather than growing without bound.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+)
+
+// Event is one recorded update execution.
+type Event struct {
+	// Iteration is the engine iteration (0-based).
+	Iteration int32
+	// Worker is the executing worker's index.
+	Worker int32
+	// Vertex is the updated vertex.
+	Vertex uint32
+	// Writes counts edge writes the update performed.
+	Writes uint32
+	// Seq is the global record order (capture order, not a happens-before
+	// order across workers).
+	Seq int64
+}
+
+// Recorder accumulates events up to a fixed capacity.
+type Recorder struct {
+	events []Event
+	cursor atomic.Int64
+}
+
+// NewRecorder returns a Recorder with room for capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Recorder{events: make([]Event, capacity)}
+}
+
+// Record appends an event. Safe for concurrent use. Events beyond the
+// capacity are counted but dropped.
+func (r *Recorder) Record(iteration, worker int, vertex uint32, writes int) {
+	seq := r.cursor.Add(1) - 1
+	if seq >= int64(len(r.events)) {
+		return
+	}
+	r.events[seq] = Event{
+		Iteration: int32(iteration),
+		Worker:    int32(worker),
+		Vertex:    vertex,
+		Writes:    uint32(writes),
+		Seq:       seq,
+	}
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	n := r.cursor.Load()
+	if n > int64(len(r.events)) {
+		return len(r.events)
+	}
+	return int(n)
+}
+
+// Truncated reports whether events were dropped for capacity.
+func (r *Recorder) Truncated() bool { return r.cursor.Load() > int64(len(r.events)) }
+
+// Total returns the number of Record calls, including dropped ones.
+func (r *Recorder) Total() int64 { return r.cursor.Load() }
+
+// Events returns the retained events in capture order. The returned slice
+// aliases internal storage; callers must not mutate it.
+func (r *Recorder) Events() []Event { return r.events[:r.Len()] }
+
+// Reset clears the recorder for reuse.
+func (r *Recorder) Reset() { r.cursor.Store(0) }
+
+// Path returns the execution path as vertex ids in capture order —
+// the paper's "execution path of the updates".
+func (r *Recorder) Path() []uint32 {
+	evs := r.Events()
+	out := make([]uint32, len(evs))
+	for i, e := range evs {
+		out[i] = e.Vertex
+	}
+	return out
+}
+
+// Equal reports whether two recorders captured identical paths (same
+// vertices in the same order with the same iteration structure). Worker
+// assignment is ignored: the same logical path on different workers is
+// still the same path.
+func Equal(a, b *Recorder) bool {
+	ea, eb := a.Events(), b.Events()
+	if len(ea) != len(eb) || a.Truncated() != b.Truncated() {
+		return false
+	}
+	for i := range ea {
+		if ea[i].Vertex != eb[i].Vertex || ea[i].Iteration != eb[i].Iteration {
+			return false
+		}
+	}
+	return true
+}
+
+// Divergence returns the first capture index at which two paths differ,
+// or -1 if one is a prefix of the other (including full equality) — the
+// trace analog of the paper's difference degree.
+func Divergence(a, b *Recorder) int {
+	ea, eb := a.Events(), b.Events()
+	n := len(ea)
+	if len(eb) < n {
+		n = len(eb)
+	}
+	for i := 0; i < n; i++ {
+		if ea[i].Vertex != eb[i].Vertex {
+			return i
+		}
+	}
+	if len(ea) != len(eb) {
+		return n
+	}
+	return -1
+}
+
+// IterationSummary aggregates one iteration's events.
+type IterationSummary struct {
+	Iteration int
+	Updates   int
+	Writes    int64
+	Workers   int // distinct workers observed
+}
+
+// Summarize groups the trace by iteration.
+func (r *Recorder) Summarize() []IterationSummary {
+	byIter := map[int32]*IterationSummary{}
+	workerSets := map[int32]map[int32]struct{}{}
+	for _, e := range r.Events() {
+		s := byIter[e.Iteration]
+		if s == nil {
+			s = &IterationSummary{Iteration: int(e.Iteration)}
+			byIter[e.Iteration] = s
+			workerSets[e.Iteration] = map[int32]struct{}{}
+		}
+		s.Updates++
+		s.Writes += int64(e.Writes)
+		workerSets[e.Iteration][e.Worker] = struct{}{}
+	}
+	out := make([]IterationSummary, 0, len(byIter))
+	for it, s := range byIter {
+		s.Workers = len(workerSets[it])
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Iteration < out[j].Iteration })
+	return out
+}
+
+// WriteCSV emits the trace as CSV (seq,iteration,worker,vertex,writes).
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "seq,iteration,worker,vertex,writes"); err != nil {
+		return err
+	}
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d\n", e.Seq, e.Iteration, e.Worker, e.Vertex, e.Writes); err != nil {
+			return err
+		}
+	}
+	if r.Truncated() {
+		if _, err := fmt.Fprintf(w, "# truncated: %d of %d events retained\n", r.Len(), r.Total()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

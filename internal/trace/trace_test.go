@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndEvents(t *testing.T) {
+	r := NewRecorder(10)
+	r.Record(0, 1, 42, 3)
+	r.Record(0, 0, 43, 0)
+	r.Record(1, 1, 42, 1)
+	if r.Len() != 3 || r.Total() != 3 || r.Truncated() {
+		t.Fatalf("Len=%d Total=%d Truncated=%v", r.Len(), r.Total(), r.Truncated())
+	}
+	evs := r.Events()
+	if evs[0].Vertex != 42 || evs[0].Writes != 3 || evs[0].Iteration != 0 || evs[0].Worker != 1 {
+		t.Fatalf("event 0 = %+v", evs[0])
+	}
+	if evs[2].Iteration != 1 {
+		t.Fatalf("event 2 = %+v", evs[2])
+	}
+}
+
+func TestCapacityTruncation(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Record(0, 0, uint32(i), 0)
+	}
+	if r.Len() != 2 || r.Total() != 5 || !r.Truncated() {
+		t.Fatalf("Len=%d Total=%d Truncated=%v", r.Len(), r.Total(), r.Truncated())
+	}
+}
+
+func TestNegativeCapacity(t *testing.T) {
+	r := NewRecorder(-1)
+	r.Record(0, 0, 1, 0)
+	if r.Len() != 0 || !r.Truncated() {
+		t.Fatal("negative capacity should retain nothing")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRecorder(4)
+	r.Record(0, 0, 1, 0)
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestPath(t *testing.T) {
+	r := NewRecorder(4)
+	for _, v := range []uint32{5, 3, 9} {
+		r.Record(0, 0, v, 0)
+	}
+	p := r.Path()
+	if len(p) != 3 || p[0] != 5 || p[1] != 3 || p[2] != 9 {
+		t.Fatalf("Path = %v", p)
+	}
+}
+
+func TestEqualAndDivergence(t *testing.T) {
+	a, b := NewRecorder(8), NewRecorder(8)
+	for _, v := range []uint32{1, 2, 3} {
+		a.Record(0, 0, v, 1)
+		b.Record(0, 3, v, 1) // different worker: still equal paths
+	}
+	if !Equal(a, b) {
+		t.Fatal("worker assignment should not affect Equal")
+	}
+	if Divergence(a, b) != -1 {
+		t.Fatal("equal paths should have divergence -1")
+	}
+	c := NewRecorder(8)
+	c.Record(0, 0, 1, 1)
+	c.Record(0, 0, 9, 1)
+	c.Record(0, 0, 3, 1)
+	if Equal(a, c) {
+		t.Fatal("different paths reported equal")
+	}
+	if d := Divergence(a, c); d != 1 {
+		t.Fatalf("Divergence = %d, want 1", d)
+	}
+	// Prefix case.
+	short := NewRecorder(8)
+	short.Record(0, 0, 1, 1)
+	if d := Divergence(a, short); d != 1 {
+		t.Fatalf("prefix divergence = %d, want 1 (length mismatch index)", d)
+	}
+	if Equal(a, short) {
+		t.Fatal("different lengths reported equal")
+	}
+}
+
+func TestEqualConsidersIterationStructure(t *testing.T) {
+	a, b := NewRecorder(4), NewRecorder(4)
+	a.Record(0, 0, 1, 0)
+	b.Record(1, 0, 1, 0)
+	if Equal(a, b) {
+		t.Fatal("different iteration structure reported equal")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(0, 0, 1, 2)
+	r.Record(0, 1, 2, 0)
+	r.Record(1, 0, 1, 1)
+	s := r.Summarize()
+	if len(s) != 2 {
+		t.Fatalf("summaries = %d", len(s))
+	}
+	if s[0].Iteration != 0 || s[0].Updates != 2 || s[0].Writes != 2 || s[0].Workers != 2 {
+		t.Fatalf("iter 0 summary = %+v", s[0])
+	}
+	if s[1].Updates != 1 || s[1].Workers != 1 {
+		t.Fatalf("iter 1 summary = %+v", s[1])
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder(10000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(0, w, uint32(i), 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 8000 {
+		t.Fatalf("Len = %d, want 8000", r.Len())
+	}
+	// Every slot must be filled (no two events claimed the same slot).
+	seen := map[int64]bool{}
+	for _, e := range r.Events() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(1)
+	r.Record(0, 0, 7, 2)
+	r.Record(0, 0, 8, 0) // dropped
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "0,0,0,7,2") {
+		t.Fatalf("CSV missing event: %q", out)
+	}
+	if !strings.Contains(out, "truncated") {
+		t.Fatalf("CSV missing truncation notice: %q", out)
+	}
+}

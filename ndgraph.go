@@ -1,0 +1,292 @@
+// Package ndgraph is a shared-memory vertex-centric graph processing
+// framework built to study — and let users exploit — the nondeterministic
+// execution of graph algorithms, reproducing Shao, Hou, Ai, Zhang & Jin,
+// "Is Your Graph Algorithm Eligible for Nondeterministic Execution?"
+// (ICPP 2015).
+//
+// The framework executes pull-mode gather–compute–scatter update functions
+// under four schedulers (deterministic Gauss–Seidel, nondeterministic
+// block-parallel, synchronous/BSP, and chromatic), guards edge data with
+// the paper's three per-operation atomicity methods (per-edge locks,
+// architecture word-alignment, language atomics), ships the paper's four
+// evaluated algorithms (PageRank, WCC, SSSP, BFS) plus SpMV and a
+// deliberately ineligible greedy coloring, and answers the title question
+// mechanically: Probe classifies an algorithm's potential edge conflicts
+// and Advise applies the paper's Theorem 1/2 sufficient conditions.
+//
+// Quick start:
+//
+//	g, _ := ndgraph.BuildGraph(edges, ndgraph.GraphOptions{})
+//	wcc := ndgraph.NewWCC()
+//	eng, res, _ := ndgraph.Run(wcc, g, ndgraph.Options{
+//		Scheduler: ndgraph.Nondeterministic,
+//		Threads:   8,
+//		Mode:      ndgraph.ModeAtomic,
+//	})
+//	labels := wcc.Components(eng)
+//	_ = res // iterations, wall time, conflict counts
+//
+// This package is a facade: it re-exports the library's public surface
+// from the internal implementation packages so downstream users need a
+// single import.
+package ndgraph
+
+import (
+	"ndgraph/internal/algorithms"
+	"ndgraph/internal/async"
+	"ndgraph/internal/autonomous"
+	"ndgraph/internal/core"
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/eligibility"
+	"ndgraph/internal/gen"
+	"ndgraph/internal/graph"
+	"ndgraph/internal/loader"
+	"ndgraph/internal/metrics"
+	"ndgraph/internal/push"
+	"ndgraph/internal/sched"
+	"ndgraph/internal/shard"
+	"ndgraph/internal/trace"
+)
+
+// Graph types.
+type (
+	// Graph is the immutable dual-CSR directed graph.
+	Graph = graph.Graph
+	// Edge is one directed edge in builder input.
+	Edge = graph.Edge
+	// GraphOptions controls graph construction.
+	GraphOptions = graph.Options
+	// GraphStats summarizes a graph.
+	GraphStats = graph.Stats
+)
+
+// Engine types.
+type (
+	// Engine is the barrier-based coordinated-scheduling engine.
+	Engine = core.Engine
+	// Options configures an Engine.
+	Options = core.Options
+	// Result reports a run's statistics.
+	Result = core.Result
+	// VertexView is the update function's window onto its vertex.
+	VertexView = core.VertexView
+	// UpdateFunc is a vertex update function f(v).
+	UpdateFunc = core.UpdateFunc
+)
+
+// Algorithm types.
+type (
+	// Algorithm is the uniform algorithm interface.
+	Algorithm = algorithms.Algorithm
+	// PageRank is the fixed-point ranking algorithm (Theorem 1 class).
+	PageRank = algorithms.PageRank
+	// WCC is weakly connected components (Theorem 2 class).
+	WCC = algorithms.WCC
+	// SSSP is single-source shortest paths (also covers BFS).
+	SSSP = algorithms.SSSP
+	// SpMV is the Jacobi-style sparse fixed-point solve.
+	SpMV = algorithms.SpMV
+	// Coloring is the deliberately ineligible greedy coloring.
+	Coloring = algorithms.Coloring
+)
+
+// Eligibility types.
+type (
+	// Properties declares an algorithm's theorem premises.
+	Properties = eligibility.Properties
+	// ConflictProfile counts read-write and write-write conflict edges.
+	ConflictProfile = eligibility.ConflictProfile
+	// Verdict is the advisor's answer to the title question.
+	Verdict = eligibility.Verdict
+)
+
+// Scheduler kinds (see internal/sched).
+const (
+	// Deterministic is sequential ascending-label Gauss–Seidel execution.
+	Deterministic = sched.Deterministic
+	// Nondeterministic is the paper's racy block-parallel execution.
+	Nondeterministic = sched.Nondeterministic
+	// Synchronous is BSP execution.
+	Synchronous = sched.Synchronous
+	// Chromatic is color-class parallel deterministic execution.
+	Chromatic = sched.Chromatic
+	// DIG is Galois-style deterministic interference-graph execution.
+	DIG = sched.DIG
+)
+
+// EdgeMode selects the edge-data atomicity method.
+type EdgeMode = edgedata.Mode
+
+// Edge-data atomicity modes (the paper's Section III methods).
+const (
+	// ModeSequential is unsynchronized single-thread storage.
+	ModeSequential = edgedata.ModeSequential
+	// ModeLocked is per-edge explicit locking.
+	ModeLocked = edgedata.ModeLocked
+	// ModeAligned is architecture word-alignment (benign races).
+	ModeAligned = edgedata.ModeAligned
+	// ModeAtomic is language atomic primitives.
+	ModeAtomic = edgedata.ModeAtomic
+)
+
+// Graph construction and I/O.
+var (
+	// BuildGraph constructs a Graph from an edge list.
+	BuildGraph = graph.Build
+	// LoadGraph reads a graph file (.bin, .mtx, or edge list).
+	LoadGraph = loader.LoadFile
+	// SaveGraph writes a graph file (.bin or edge list).
+	SaveGraph = loader.SaveFile
+)
+
+// RMATParams configures the R-MAT generator.
+type RMATParams = gen.RMATParams
+
+// DefaultRMAT is the Graph500-style R-MAT parameterization.
+var DefaultRMAT = gen.DefaultRMAT
+
+// Dataset identifies a paper Table I graph analog.
+type Dataset = gen.Dataset
+
+// The paper's four evaluation graphs (synthetic analogs).
+const (
+	// WebBerkStan models web-BerkStan.
+	WebBerkStan = gen.WebBerkStan
+	// WebGoogle models web-Google.
+	WebGoogle = gen.WebGoogle
+	// SocLiveJournal models soc-LiveJournal1.
+	SocLiveJournal = gen.SocLiveJournal
+	// Cage15 models cage15.
+	Cage15 = gen.Cage15
+)
+
+// Generators.
+var (
+	// GenRMAT generates an R-MAT power-law graph.
+	GenRMAT = gen.RMAT
+	// GenErdosRenyi generates a uniform random graph.
+	GenErdosRenyi = gen.ErdosRenyi
+	// GenPreferentialAttachment generates a social-like graph.
+	GenPreferentialAttachment = gen.PreferentialAttachment
+	// GenGrid generates a 2D lattice.
+	GenGrid = gen.Grid
+	// Synthesize generates an analog of one of the paper's datasets.
+	Synthesize = gen.Synthesize
+)
+
+// Engine and algorithms.
+var (
+	// NewEngine builds a barrier-based engine.
+	NewEngine = core.NewEngine
+	// Run executes an algorithm on a graph to convergence.
+	Run = algorithms.Run
+	// Probe classifies an algorithm's potential conflicts and returns the
+	// eligibility verdict — the paper's title question, answered.
+	Probe = algorithms.Probe
+	// VerifyMonotonicity checks Theorem 2's premise at runtime by
+	// observing every edge write of a deterministic run.
+	VerifyMonotonicity = algorithms.VerifyMonotonicity
+	// NonIncreasing / NonDecreasing are the monotonicity directions.
+	NonIncreasing = algorithms.NonIncreasing
+	NonDecreasing = algorithms.NonDecreasing
+	// Advise applies the Theorem 1/2 sufficient conditions directly.
+	Advise = eligibility.Advise
+
+	// NewPageRank builds PageRank with local threshold ε.
+	NewPageRank = algorithms.NewPageRank
+	// NewWCC builds weakly connected components.
+	NewWCC = algorithms.NewWCC
+	// NewSSSP builds single-source shortest paths with random weights.
+	NewSSSP = algorithms.NewSSSP
+	// NewBFS builds breadth-first search (unit-weight SSSP).
+	NewBFS = algorithms.NewBFS
+	// NewSpMV builds the contraction fixed-point solve.
+	NewSpMV = algorithms.NewSpMV
+	// NewKCore builds k-core decomposition.
+	NewKCore = algorithms.NewKCore
+	// NewLabelProp builds majority label propagation (not eligible).
+	NewLabelProp = algorithms.NewLabelProp
+	// NewColoring builds the ineligible greedy coloring demo.
+	NewColoring = algorithms.NewColoring
+)
+
+// Result-variance metrics (Section V-C).
+var (
+	// RankOrder sorts vertices by descending score.
+	RankOrder = metrics.RankOrder
+	// DifferenceDegree is the paper's rank-divergence metric.
+	DifferenceDegree = metrics.DifferenceDegree
+)
+
+// Out-of-core (GraphChi-style Parallel Sliding Windows) execution.
+type (
+	// ShardStorage is on-disk sharded graph storage.
+	ShardStorage = shard.Storage
+	// ShardEngine executes updates over sharded storage.
+	ShardEngine = shard.Engine
+	// ShardOptions configures a PSW run.
+	ShardOptions = shard.Options
+)
+
+var (
+	// BuildShards shards a graph onto disk.
+	BuildShards = shard.Build
+	// NewShardEngine binds a PSW executor to sharded storage.
+	NewShardEngine = shard.NewEngine
+)
+
+// TraceRecorder records execution paths (Options.Trace).
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns a bounded execution-path recorder.
+var NewTraceRecorder = trace.NewRecorder
+
+// Autonomous (priority-driven) scheduling — the paper's other scheduling
+// category (Section I).
+type (
+	// AutonomousEngine executes priority-ordered updates.
+	AutonomousEngine = autonomous.Engine
+	// AutonomousScheduler is the priority queue updates post into.
+	AutonomousScheduler = autonomous.Scheduler
+)
+
+var (
+	// NewAutonomousEngine builds a priority-driven executor.
+	NewAutonomousEngine = autonomous.NewEngine
+	// AutonomousSSSP runs distance-ordered SSSP (Dijkstra as a schedule).
+	AutonomousSSSP = autonomous.SSSP
+	// DeltaPageRank runs residual-ordered PageRank.
+	DeltaPageRank = autonomous.DeltaPageRank
+)
+
+// Extensions: barrier-free execution and push mode.
+type (
+	// AsyncExecutor is the pure asynchronous (barrier-free) executor.
+	AsyncExecutor = async.Executor
+	// AsyncOptions configures an AsyncExecutor.
+	AsyncOptions = async.Options
+	// PushEngine executes monotone push-mode computations.
+	PushEngine = push.Engine
+)
+
+// Push-mode atomicity disciplines.
+const (
+	// PushModeCAS combines pushes with compare-and-swap retry loops.
+	PushModeCAS = push.ModeCAS
+	// PushModePlain combines pushes with racy read-test-write
+	// (single-threaded use only).
+	PushModePlain = push.ModePlain
+)
+
+var (
+	// NewAsyncExecutor builds a barrier-free executor.
+	NewAsyncExecutor = async.NewExecutor
+	// NewPushEngine builds a push-mode engine.
+	NewPushEngine = push.NewEngine
+	// PushBFS runs push-mode BFS.
+	PushBFS = push.BFS
+	// PushSSSP runs push-mode SSSP.
+	PushSSSP = push.SSSP
+	// PushWCC runs push-mode WCC.
+	PushWCC = push.WCC
+)

@@ -1,0 +1,6 @@
+//go:build !race
+
+package ndgraph_test
+
+// raceEnabled mirrors the race build tag for benchmark configuration.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package ndgraph_test
+
+// raceEnabled drops ModeAligned (benign races by design) from the Fig. 3
+// benchmark grid under the race detector.
+const raceEnabled = true

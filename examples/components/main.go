@@ -44,6 +44,7 @@ func fig2Walkthrough() {
 			Threads:   2,
 			Mode:      ndgraph.ModeAtomic,
 			Amplify:   true,
+			MaxIters:  1000,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -67,7 +68,7 @@ func socialStress() {
 	fmt.Printf("graph: %d vertices, %d edges\n", g.N(), g.M())
 
 	wcc := ndgraph.NewWCC()
-	detEng, detRes, err := ndgraph.Run(wcc, g, ndgraph.Options{Scheduler: ndgraph.Deterministic})
+	detEng, detRes, err := ndgraph.Run(wcc, g, ndgraph.Options{Scheduler: ndgraph.Deterministic, MaxIters: 1000})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,6 +80,7 @@ func socialStress() {
 			Scheduler: ndgraph.Nondeterministic,
 			Threads:   8,
 			Mode:      mode,
+			MaxIters:  1000,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -25,7 +25,7 @@ func main() {
 	// 1. In-memory nondeterministic WCC.
 	wcc := ndgraph.NewWCC()
 	memEng, memRes, err := ndgraph.Run(wcc, g, ndgraph.Options{
-		Scheduler: ndgraph.Nondeterministic, Threads: 4, Mode: ndgraph.ModeAtomic,
+		Scheduler: ndgraph.Nondeterministic, Threads: 4, Mode: ndgraph.ModeAtomic, MaxIters: 1000,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -55,7 +55,7 @@ func main() {
 	if err := st.FillValues(^uint64(0)); err != nil {
 		log.Fatal(err)
 	}
-	pswEng, err := ndgraph.NewShardEngine(st, ndgraph.ShardOptions{Threads: 4, Mode: ndgraph.ModeAtomic})
+	pswEng, err := ndgraph.NewShardEngine(st, ndgraph.ShardOptions{Threads: 4, Mode: ndgraph.ModeAtomic, MaxIters: 1000})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func main() {
 		}
 	}
 	sssp := ndgraph.NewSSSP(g, src, 5)
-	_, coordRes, err := ndgraph.Run(sssp, g, ndgraph.Options{Scheduler: ndgraph.Deterministic})
+	_, coordRes, err := ndgraph.Run(sssp, g, ndgraph.Options{Scheduler: ndgraph.Deterministic, MaxIters: 1000})
 	if err != nil {
 		log.Fatal(err)
 	}

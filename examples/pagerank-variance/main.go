@@ -44,11 +44,12 @@ func main() {
 		return out
 	}
 
-	de := orderings(ndgraph.Options{Scheduler: ndgraph.Deterministic})
+	de := orderings(ndgraph.Options{Scheduler: ndgraph.Deterministic, MaxIters: 1000})
 	ne := orderings(ndgraph.Options{
 		Scheduler: ndgraph.Nondeterministic,
 		Threads:   8,
 		Mode:      ndgraph.ModeAtomic,
+		MaxIters:  1000,
 		Amplify:   true, // widen race windows so variance shows on few cores
 	})
 

@@ -46,6 +46,7 @@ func main() {
 	// deterministic scheduler: sequential, label order).
 	detEng, detRes, err := ndgraph.Run(wcc, g, ndgraph.Options{
 		Scheduler: ndgraph.Deterministic,
+		MaxIters:  1000,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -59,6 +60,7 @@ func main() {
 		Scheduler: ndgraph.Nondeterministic,
 		Threads:   4,
 		Mode:      ndgraph.ModeAtomic,
+		MaxIters:  1000,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -31,7 +31,7 @@ func main() {
 	sssp := ndgraph.NewSSSP(g, source, seed)
 
 	// 1. Deterministic pull-mode baseline.
-	detEng, detRes, err := ndgraph.Run(sssp, g, ndgraph.Options{Scheduler: ndgraph.Deterministic})
+	detEng, detRes, err := ndgraph.Run(sssp, g, ndgraph.Options{Scheduler: ndgraph.Deterministic, MaxIters: 1000})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func main() {
 
 	// 2. Nondeterministic pull-mode (racy, per-operation atomicity only).
 	ndEng, ndRes, err := ndgraph.Run(sssp, g, ndgraph.Options{
-		Scheduler: ndgraph.Nondeterministic, Threads: 8, Mode: ndgraph.ModeAtomic,
+		Scheduler: ndgraph.Nondeterministic, Threads: 8, Mode: ndgraph.ModeAtomic, MaxIters: 1000,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -96,7 +96,10 @@ func (s *SSSP) Update(ctx core.VertexView) {
 	ctx.Yield()
 	for k := 0; k < ctx.OutDegree(); k++ {
 		cand := d + s.Weights[ctx.OutEdgeID(k)]
-		if cand < edgedata.ToFloat64(ctx.OutEdgeVal(k)) {
+		// !(cand >= cur) rather than cand < cur: a corrupted edge word
+		// decoding to NaN compares false both ways, and the negated form
+		// rewrites it instead of leaving the corruption in place forever.
+		if cur := edgedata.ToFloat64(ctx.OutEdgeVal(k)); !(cand >= cur) {
 			ctx.SetOutEdgeVal(k, edgedata.FromFloat64(cand))
 		}
 	}

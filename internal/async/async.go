@@ -19,14 +19,17 @@
 package async
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ndgraph/internal/core"
 	"ndgraph/internal/edgedata"
+	"ndgraph/internal/fault"
 	"ndgraph/internal/frontier"
 	"ndgraph/internal/graph"
 )
@@ -42,6 +45,13 @@ type Options struct {
 	// an iteration cap); 0 means 1<<26. Exceeding it stops the run with
 	// Converged == false.
 	MaxUpdates int64
+	// Context, when non-nil, cancels the run: workers observe cancellation
+	// before each update, stop scheduling new work, drain the queue, and
+	// Run returns the partial Result plus the context's error.
+	Context context.Context
+	// Inject, when non-nil, arms the fault injector for the duration of
+	// the run (see package fault); faulted edges re-enqueue both endpoints.
+	Inject *fault.Injector
 }
 
 // Result summarizes a barrier-free run.
@@ -68,6 +78,17 @@ type Executor struct {
 	updates atomic.Int64
 	stopped atomic.Bool
 	seeds   []int
+
+	// panicked records the first recovered UpdateFunc panic; Run surfaces
+	// it as an error instead of letting a worker kill the process.
+	panicked atomic.Pointer[updatePanic]
+}
+
+// updatePanic captures a recovered UpdateFunc panic.
+type updatePanic struct {
+	vertex uint32
+	value  any
+	stack  []byte
 }
 
 // NewExecutor builds a barrier-free executor for g.
@@ -84,14 +105,18 @@ func NewExecutor(g *graph.Graph, opts Options) (*Executor, error) {
 	if opts.MaxUpdates <= 0 {
 		opts.MaxUpdates = 1 << 26
 	}
-	return &Executor{
+	x := &Executor{
 		g:        g,
 		opts:     opts,
 		Edges:    edgedata.New(opts.Mode, g.M()),
 		Vertices: make([]uint64, g.N()),
 		pending:  frontier.NewBitset(g.N()),
 		active:   frontier.NewBitset(g.N()),
-	}, nil
+	}
+	if opts.Inject != nil {
+		x.Edges = opts.Inject.Wrap(x.Edges)
+	}
+	return x, nil
 }
 
 // Graph returns the executor's graph.
@@ -143,6 +168,17 @@ func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
 	if len(x.seeds) == 0 {
 		return res, nil
 	}
+	x.panicked.Store(nil)
+	if inj := x.opts.Inject; inj != nil {
+		// Heal rule: a faulted edge re-enqueues both endpoints, the
+		// barrier-free analog of the task-generation retry (see fault).
+		inj.Arm(func(e uint32) {
+			src, dst := x.g.EdgeEndpoints(e)
+			x.schedule(int(src))
+			x.schedule(int(dst))
+		})
+		defer inj.Disarm()
+	}
 	// Queue capacity: every vertex can be pending at most once, plus one
 	// slot per worker for re-enqueues racing the pending-bit clear.
 	x.queue = make(chan int, x.g.N()+x.opts.Threads+1)
@@ -164,6 +200,11 @@ func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
 			view := &view{x: x}
 			for v := range x.queue {
 				x.pending.ClearAtomic(v)
+				if ctx := x.opts.Context; ctx != nil && ctx.Err() != nil {
+					// Cancellation: stop running updates and scheduling new
+					// work; the queue drains through the in-flight counter.
+					x.stopped.Store(true)
+				}
 				if !x.active.SetAtomic(v) {
 					// f(v) is running on another worker right now. Repost
 					// the wakeup (transferring our in-flight unit) unless
@@ -179,11 +220,13 @@ func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
 					}
 					continue
 				}
-				if x.updates.Add(1) > x.opts.MaxUpdates {
+				switch {
+				case x.stopped.Load():
+					// Draining a stopped run: retire the task unrun.
+				case x.updates.Add(1) > x.opts.MaxUpdates:
 					x.stopped.Store(true)
-				} else {
-					view.bind(uint32(v))
-					update(view)
+				default:
+					x.runOne(view, update, uint32(v))
 				}
 				x.active.ClearAtomic(v)
 				if x.inFlite.Add(-1) == 0 {
@@ -201,7 +244,26 @@ func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
 		}
 	}
 	res.Duration = time.Since(start)
+	if p := x.panicked.Load(); p != nil {
+		return res, fmt.Errorf("async: update function panicked on vertex %d: %v\n%s", p.vertex, p.value, p.stack)
+	}
+	if ctx := x.opts.Context; ctx != nil && ctx.Err() != nil && !res.Converged {
+		return res, ctx.Err()
+	}
 	return res, nil
+}
+
+// runOne executes one update, converting a panic into a recorded failure
+// that stops the run instead of crashing the process.
+func (x *Executor) runOne(view *view, update core.UpdateFunc, v uint32) {
+	defer func() {
+		if r := recover(); r != nil {
+			x.panicked.CompareAndSwap(nil, &updatePanic{vertex: v, value: r, stack: debug.Stack()})
+			x.stopped.Store(true)
+		}
+	}()
+	view.bind(v)
+	update(view)
 }
 
 // view adapts the executor to core.VertexView. Unlike the barrier-based

@@ -18,17 +18,31 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
 	"ndgraph/internal/edgedata"
+	"ndgraph/internal/fault"
 	"ndgraph/internal/frontier"
 	"ndgraph/internal/graph"
 	"ndgraph/internal/sched"
 	"ndgraph/internal/trace"
 )
+
+// DefaultMaxIters is the iteration cap applied when Options.MaxIters is
+// zero, shared by the in-memory and out-of-core engines. It is a runaway
+// backstop, not a tuning knob — combine with Options.StallWindow to detect
+// divergence long before the cap.
+const DefaultMaxIters = 1 << 20
+
+// ErrStalled is returned (wrapped, with diagnostics) when the divergence
+// watchdog aborts a run whose active-vertex count stopped improving.
+var ErrStalled = errors.New("core: computation stalled (divergence watchdog)")
 
 // UpdateFunc is a vertex update function f(v). It must confine its data
 // accesses to the Ctx it receives (vertex value + incident edge words); the
@@ -51,9 +65,36 @@ type Options struct {
 	// default) or Dynamic (chunked work-stealing-style claims; an
 	// ablation of the system model's load-balance assumption).
 	Dispatch sched.Dispatch
-	// MaxIters caps the iteration count; 0 means the default of 1<<20.
+	// MaxIters caps the iteration count; 0 means DefaultMaxIters.
 	// Hitting the cap returns a Result with Converged == false.
 	MaxIters int
+	// Context, when non-nil, cancels or deadlines the run: it is checked
+	// at every iteration barrier and Run returns the partial Result plus
+	// the context's error within one iteration of cancellation.
+	Context context.Context
+	// StallWindow enables the divergence watchdog: if the scheduled-vertex
+	// count reaches no new minimum for StallWindow consecutive iterations,
+	// the run aborts with ErrStalled and a diagnostic partial Result.
+	// 0 disables. Note that legitimately long plateaus (e.g. PageRank
+	// keeping all vertices active while residuals shrink) need a window
+	// larger than the plateau.
+	StallWindow int
+	// Inject, when non-nil, arms the fault injector for the duration of
+	// the run: edge reads and writes are perturbed per its Plan, every
+	// faulted edge's endpoints are rescheduled (the injector's heal rule),
+	// and an injected crash aborts the run with fault.ErrCrash at the
+	// planned iteration boundary.
+	Inject *fault.Injector
+	// CheckpointEvery, with CheckpointPath, writes a crash-safe snapshot
+	// of the engine state (vertices, edge words, frontier, counters) every
+	// N iteration boundaries. A later engine on the same graph can
+	// RestoreCheckpoint and Run to completion; with a deterministic
+	// scheduler the resumed run's final state is byte-identical to an
+	// uninterrupted one. 0 disables.
+	CheckpointEvery int
+	// CheckpointPath is the checkpoint file location (written atomically:
+	// temp file + rename, CRC32-verified on load).
+	CheckpointPath string
 	// EnableCensus turns on logical conflict classification (read-write vs
 	// write-write per Section III). Adds one atomic OR per edge access.
 	EnableCensus bool
@@ -148,9 +189,26 @@ type Engine struct {
 	// curIter is the iteration currently dispatching (for tracing).
 	curIter int
 
+	// startIter / startUpdates hold the resume point installed by
+	// RestoreCheckpoint; zero for a fresh run.
+	startIter    int
+	startUpdates int64
+
+	// panicked records the first UpdateFunc panic of the run; workers
+	// recover instead of crashing the process and Run surfaces it as an
+	// error at the next barrier.
+	panicked atomic.Pointer[updatePanic]
+
 	workers       []Ctx
 	shadowWorkers []Ctx // record-only replicas for PotentialCensus replay
 	updates       atomic.Int64
+}
+
+// updatePanic captures a recovered UpdateFunc panic.
+type updatePanic struct {
+	vertex uint32
+	value  any
+	stack  []byte
 }
 
 // NewEngine validates opts and builds an engine for g.
@@ -165,7 +223,7 @@ func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
 		opts.Threads = 1
 	}
 	if opts.MaxIters <= 0 {
-		opts.MaxIters = 1 << 20
+		opts.MaxIters = DefaultMaxIters
 	}
 	parallel := opts.Threads > 1 && opts.Scheduler != sched.Deterministic
 	if parallel && opts.Mode == edgedata.ModeSequential {
@@ -178,6 +236,11 @@ func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
 		Edges:    edgedata.New(opts.Mode, g.M()),
 		Vertices: make([]uint64, g.N()),
 		front:    frontier.NewFrontier(g.N()),
+	}
+	if opts.Inject != nil {
+		// The injector sits between the engine and the raw store; it stays
+		// disarmed (transparent) until Run, so Setup is never perturbed.
+		e.Edges = opts.Inject.Wrap(e.Edges)
 	}
 	if opts.PotentialCensus {
 		e.opts.EnableCensus = true
@@ -211,6 +274,9 @@ func (e *Engine) Reset() {
 		e.census.Reset()
 	}
 	e.updates.Store(0)
+	e.startIter = 0
+	e.startUpdates = 0
+	e.panicked.Store(nil)
 }
 
 // Run executes update to convergence under the configured scheduler and
@@ -228,14 +294,65 @@ func (e *Engine) Run(update UpdateFunc) (Result, error) {
 		e.bspShadow = make([]uint64, e.g.M())
 	}
 	e.ensureWorkers()
-	e.updates.Store(0)
+	e.updates.Store(e.startUpdates)
+	e.panicked.Store(nil)
+	if inj := e.opts.Inject; inj != nil {
+		// Heal rule: every faulted edge reschedules both endpoints — the
+		// task generation the phantom racing competitor would have applied
+		// — giving monotone algorithms their Theorem 2 retry path.
+		inj.Arm(func(edge uint32) {
+			src, dst := e.g.EdgeEndpoints(edge)
+			e.front.Schedule(int(src))
+			e.front.Schedule(int(dst))
+		})
+		defer inj.Disarm()
+	}
 
-	res := Result{Converged: true}
+	res := Result{Converged: true, Iterations: e.startIter}
+	bestActive := e.g.N() + 1
+	stalled := 0
 	start := time.Now()
+	finish := func() {
+		res.Duration = time.Since(start)
+		res.Updates = e.updates.Load()
+		if e.census != nil {
+			res.RWConflicts, res.WWConflicts = e.census.Totals()
+		}
+	}
 	for e.front.Size() > 0 {
+		if ctx := e.opts.Context; ctx != nil {
+			if err := ctx.Err(); err != nil {
+				res.Converged = false
+				finish()
+				return res, err
+			}
+		}
 		if res.Iterations >= e.opts.MaxIters {
 			res.Converged = false
 			break
+		}
+		if inj := e.opts.Inject; inj != nil && inj.CrashNow(res.Iterations) {
+			res.Converged = false
+			finish()
+			return res, fmt.Errorf("core: iteration %d: %w", res.Iterations, fault.ErrCrash)
+		}
+		if e.opts.CheckpointEvery > 0 && e.opts.CheckpointPath != "" &&
+			res.Iterations%e.opts.CheckpointEvery == 0 {
+			if err := e.saveCheckpoint(e.opts.CheckpointPath, res.Iterations, e.updates.Load()); err != nil {
+				res.Converged = false
+				finish()
+				return res, fmt.Errorf("core: checkpoint at iteration %d: %w", res.Iterations, err)
+			}
+		}
+		if k := e.opts.StallWindow; k > 0 {
+			if size := e.front.Size(); size < bestActive {
+				bestActive, stalled = size, 0
+			} else if stalled++; stalled >= k {
+				res.Converged = false
+				finish()
+				return res, fmt.Errorf("core: iteration %d: active vertices %d (best %d) unimproved for %d iterations: %w",
+					res.Iterations, e.front.Size(), bestActive, k, ErrStalled)
+			}
 		}
 		if e.opts.Scheduler == sched.Synchronous {
 			e.bspShadow = e.Edges.Snapshot()
@@ -246,6 +363,11 @@ func (e *Engine) Run(update UpdateFunc) (Result, error) {
 		e.curIter = res.Iterations
 		members := e.front.Members()
 		e.dispatch(members, update)
+		if p := e.panicked.Load(); p != nil {
+			res.Converged = false
+			finish()
+			return res, fmt.Errorf("core: update function panicked on vertex %d: %v\n%s", p.vertex, p.value, p.stack)
+		}
 
 		stat := IterStat{Scheduled: len(members)}
 		if e.census != nil {
@@ -257,11 +379,7 @@ func (e *Engine) Run(update UpdateFunc) (Result, error) {
 		res.Iterations++
 		e.front.Advance()
 	}
-	res.Duration = time.Since(start)
-	res.Updates = e.updates.Load()
-	if e.census != nil {
-		res.RWConflicts, res.WWConflicts = e.census.Totals()
-	}
+	finish()
 	return res, nil
 }
 
@@ -287,6 +405,14 @@ func (e *Engine) ensureWorkers() {
 // the small-label-first rule.
 func (e *Engine) dispatch(members []int, update UpdateFunc) {
 	run := func(worker, v int) {
+		if e.panicked.Load() != nil {
+			return // a sibling update panicked; drain the iteration fast
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				e.panicked.CompareAndSwap(nil, &updatePanic{vertex: uint32(v), value: r, stack: debug.Stack()})
+			}
+		}()
 		if e.opts.PotentialCensus {
 			sc := &e.shadowWorkers[worker]
 			sc.bind(uint32(v))

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/sched"
+)
+
+func TestContextCancelledBeforeRun(t *testing.T) {
+	g := ringGraph(t, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := newEngine(t, g, Options{Scheduler: sched.Deterministic, Context: ctx})
+	initMinLabel(e)
+	res, err := e.Run(minLabelUpdate)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Converged || res.Iterations != 0 {
+		t.Fatalf("pre-cancelled run reported %+v", res)
+	}
+}
+
+func TestContextCancelStopsWithinOneIteration(t *testing.T) {
+	g := chainGraph(t, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	e := newEngine(t, g, Options{Scheduler: sched.Deterministic, Context: ctx})
+	initReversedLabels(e)
+	// Cancel partway through the run; the barrier check must stop the
+	// engine before another full iteration dispatches.
+	var updates atomic.Int64
+	cancelAt := int64(100)
+	update := func(v VertexView) {
+		if updates.Add(1) == cancelAt {
+			cancel()
+		}
+		minLabelUpdate(v)
+	}
+	res, err := e.Run(update)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Converged {
+		t.Fatal("cancelled run reported convergence")
+	}
+	if res.Updates == 0 || res.Iterations == 0 {
+		t.Fatalf("cancelled run reports no partial progress: %+v", res)
+	}
+	// At most the remainder of the in-flight iteration (< one frontier,
+	// i.e. < 64 updates) may run after cancellation.
+	if gap := updates.Load() - cancelAt; gap >= 64 {
+		t.Fatalf("%d updates ran after cancellation — more than one iteration", gap)
+	}
+}
+
+func TestStallWatchdogAbortsDivergentRun(t *testing.T) {
+	g := ringGraph(t, 16)
+	e := newEngine(t, g, Options{Scheduler: sched.Deterministic, StallWindow: 3})
+	e.Frontier().ScheduleAll()
+	// A computation that never converges: every vertex reschedules itself
+	// forever, so the active count never improves.
+	res, err := e.Run(func(ctx VertexView) { ctx.ScheduleSelf() })
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+	if res.Converged {
+		t.Fatal("stalled run reported convergence")
+	}
+	if res.Iterations > 10 {
+		t.Fatalf("watchdog fired only after %d iterations (window 3)", res.Iterations)
+	}
+	if !strings.Contains(err.Error(), "active vertices") {
+		t.Fatalf("watchdog error lacks diagnostics: %v", err)
+	}
+}
+
+func TestStallWatchdogSparesConvergingRun(t *testing.T) {
+	g := ringGraph(t, 64)
+	// minLabel on a ring keeps a constant-size frontier for stretches;
+	// a window comfortably above the plateau must not fire.
+	e := newEngine(t, g, Options{Scheduler: sched.Deterministic, StallWindow: 80})
+	initMinLabel(e)
+	res, err := e.Run(minLabelUpdate)
+	if err != nil {
+		t.Fatalf("watchdog mistook convergence for a stall: %v", err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+}
+
+func TestUpdatePanicSurfacedAsError(t *testing.T) {
+	g := ringGraph(t, 32)
+	for _, opts := range []Options{
+		{Scheduler: sched.Deterministic},
+		{Scheduler: sched.Nondeterministic, Threads: 4, Mode: edgedata.ModeAtomic},
+	} {
+		e := newEngine(t, g, opts)
+		initMinLabel(e)
+		_, err := e.Run(func(ctx VertexView) {
+			if ctx.V() == 17 {
+				panic("kaboom")
+			}
+			minLabelUpdate(ctx)
+		})
+		if err == nil {
+			t.Fatalf("%v: panic not surfaced", opts.Scheduler)
+		}
+		if !strings.Contains(err.Error(), "panicked on vertex 17") || !strings.Contains(err.Error(), "kaboom") {
+			t.Fatalf("%v: panic error lacks context: %v", opts.Scheduler, err)
+		}
+	}
+}

@@ -19,12 +19,18 @@
 // trivially satisfied — and the theorem's monotonicity premise does the
 // rest: stale or duplicated messages lose to the Better test and the
 // computation converges to the same fixed point as a sequential run.
-// Dropping messages is *not* tolerated (a lost improvement is never
-// retried), mirroring the push-mode ModePlain result; the simulator
-// therefore never drops.
+//
+// Silently dropping messages is *not* tolerated (a lost improvement is
+// never retried), mirroring the push-mode ModePlain result. The simulator
+// instead models a lossy network the way real clusters cope with one:
+// DropProb discards deliveries, and the sender's ack timeout retransmits
+// the same message with backoff (at-least-once delivery). Retransmission
+// restores the "no lost update without a retry task" premise, so
+// convergence survives arbitrary loss rates below 1.
 package dist
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -57,23 +63,33 @@ type Options struct {
 	// DuplicateProb duplicates each sent message with this probability
 	// (at-least-once delivery). Must be in [0, 1).
 	DuplicateProb float64
-	// Seed drives the delivery-order scrambling and duplication.
+	// DropProb discards each delivery with this probability; the sender's
+	// ack timeout then retransmits the message with backoff, so delivery
+	// remains at-least-once. Must be in [0, 1).
+	DropProb float64
+	// Seed drives the delivery-order scrambling, duplication, and drops.
 	Seed uint64
 	// MaxMessages caps total deliveries; 0 means 1<<26.
 	MaxMessages int64
+	// Context, when non-nil, cancels the run: workers stop processing,
+	// inboxes drain, and Run returns partial values plus the context's
+	// error.
+	Context context.Context
 }
 
 // Result reports a distributed run.
 type Result struct {
 	Messages   int64 // messages delivered (including duplicates)
 	Duplicates int64 // extra deliveries injected
+	Drops      int64 // deliveries lost and retransmitted
 	Converged  bool
 	Duration   time.Duration
 }
 
 type message struct {
-	to  uint32
-	val uint64
+	to      uint32
+	val     uint64
+	attempt uint8 // retransmission count (drives backoff)
 }
 
 // inbox is an unbounded mailbox with random-order removal: the delivery
@@ -138,6 +154,9 @@ func Run(g *graph.Graph, p Propagation, opts Options) ([]uint64, Result, error) 
 	if opts.DuplicateProb < 0 || opts.DuplicateProb >= 1 {
 		return nil, Result{}, fmt.Errorf("dist: DuplicateProb %v out of [0, 1)", opts.DuplicateProb)
 	}
+	if opts.DropProb < 0 || opts.DropProb >= 1 {
+		return nil, Result{}, fmt.Errorf("dist: DropProb %v out of [0, 1)", opts.DropProb)
+	}
 	if opts.Workers < 1 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -165,7 +184,7 @@ func Run(g *graph.Graph, p Propagation, opts Options) ([]uint64, Result, error) 
 		inboxes[w] = newInbox(rng.Mix64(opts.Seed + uint64(w)))
 	}
 
-	var inflight, delivered, dups atomic.Int64
+	var inflight, delivered, dups, drops atomic.Int64
 	var stopped atomic.Bool
 	start := time.Now()
 
@@ -219,13 +238,36 @@ func Run(g *graph.Graph, p Propagation, opts Options) ([]uint64, Result, error) 
 				if !ok {
 					return
 				}
-				if delivered.Add(1) > opts.MaxMessages {
+				if ctx := opts.Context; ctx != nil && ctx.Err() != nil {
 					stopped.Store(true)
-				} else if p.Better(m.val, values[m.to]) {
-					// Only the owner worker touches values[m.to], so the
-					// adopt is race-free.
-					values[m.to] = m.val
-					broadcast(m.to, m.val, r)
+				}
+				if !stopped.Load() && opts.DropProb > 0 && r.Float64() < opts.DropProb {
+					// Lossy link: this delivery is lost. The sender's ack
+					// timeout fires and retransmits the same message after
+					// a backoff; the in-flight unit rides the retransmitted
+					// copy, so quiescence detection is unaffected.
+					drops.Add(1)
+					if m.attempt < math.MaxUint8 {
+						m.attempt++
+					}
+					for b := uint8(0); b < m.attempt && b < 8; b++ {
+						runtime.Gosched()
+					}
+					inboxes[w].put(m)
+					continue
+				}
+				switch {
+				case stopped.Load():
+					// Draining a stopped run: retire the message unprocessed.
+				case delivered.Add(1) > opts.MaxMessages:
+					stopped.Store(true)
+				default:
+					if p.Better(m.val, values[m.to]) {
+						// Only the owner worker touches values[m.to], so the
+						// adopt is race-free.
+						values[m.to] = m.val
+						broadcast(m.to, m.val, r)
+					}
 				}
 				if inflight.Add(-1) == 0 {
 					closeAll()
@@ -237,6 +279,7 @@ func Run(g *graph.Graph, p Propagation, opts Options) ([]uint64, Result, error) 
 
 	res.Messages = delivered.Load()
 	res.Duplicates = dups.Load()
+	res.Drops = drops.Load()
 	if stopped.Load() {
 		res.Converged = false
 		if res.Messages > opts.MaxMessages {
@@ -244,6 +287,9 @@ func Run(g *graph.Graph, p Propagation, opts Options) ([]uint64, Result, error) 
 		}
 	}
 	res.Duration = time.Since(start)
+	if ctx := opts.Context; ctx != nil && ctx.Err() != nil && !res.Converged {
+		return values, res, ctx.Err()
+	}
 	return values, res, nil
 }
 

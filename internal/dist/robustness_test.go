@@ -1,0 +1,135 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ndgraph/internal/algorithms"
+	"ndgraph/internal/gen"
+)
+
+// Message loss with ack/retransmit keeps delivery at-least-once, which is
+// all the monotone-adoption argument needs: WCC must still land on the
+// exact union-find labels.
+func TestDistWCCWithDrops(t *testing.T) {
+	g, err := gen.RMAT(200, 1000, gen.DefaultRMAT, 131)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.ReferenceWCC(g)
+	labels, res, err := WCC(g, Options{Workers: 4, Seed: 13, DropProb: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if res.Drops == 0 {
+		t.Fatal("drop probability 0.1 lost no deliveries")
+	}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d (drops %d)", v, labels[v], want[v], res.Drops)
+		}
+	}
+}
+
+func TestDistWCCSurvivesHeavyLoss(t *testing.T) {
+	g, err := gen.RMAT(100, 500, gen.DefaultRMAT, 132)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.ReferenceWCC(g)
+	labels, res, err := WCC(g, Options{Workers: 4, Seed: 14, DropProb: 0.8, DuplicateProb: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge under 80% loss")
+	}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, labels[v], want[v])
+		}
+	}
+}
+
+func TestDistZeroProbsInjectNothing(t *testing.T) {
+	g, err := gen.RMAT(100, 500, gen.DefaultRMAT, 133)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, res, err := WCC(g, Options{Workers: 3, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Duplicates != 0 || res.Drops != 0 {
+		t.Fatalf("zero-probability run injected faults: %+v", res)
+	}
+}
+
+func TestDistNearOneDuplicateProb(t *testing.T) {
+	g, err := gen.RMAT(100, 500, gen.DefaultRMAT, 134)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.ReferenceWCC(g)
+	labels, res, err := WCC(g, Options{Workers: 4, Seed: 16, DuplicateProb: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Duplicates == 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, labels[v], want[v])
+		}
+	}
+}
+
+func TestDistSingleWorkerWithDrops(t *testing.T) {
+	g, err := gen.RMAT(100, 500, gen.DefaultRMAT, 135)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algorithms.ReferenceWCC(g)
+	labels, res, err := WCC(g, Options{Workers: 1, Seed: 17, DropProb: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Fatalf("label[%d] = %d, want %d", v, labels[v], want[v])
+		}
+	}
+}
+
+func TestDistInvalidDropProbRejected(t *testing.T) {
+	g, _ := gen.Ring(4)
+	for _, bad := range []float64{-0.1, 1, 1.5} {
+		if _, _, err := WCC(g, Options{DropProb: bad}); err == nil {
+			t.Errorf("DropProb %v accepted", bad)
+		}
+	}
+}
+
+func TestDistContextCancelledBeforeRun(t *testing.T) {
+	g, err := gen.RMAT(200, 1000, gen.DefaultRMAT, 136)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, res, err := WCC(g, Options{Workers: 4, Seed: 18, Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Converged {
+		t.Fatal("cancelled run reported convergence")
+	}
+}

@@ -65,6 +65,18 @@ func (f *Frontier) Size() int { return len(f.members) }
 // are in flight).
 func (f *Frontier) NextSize() int { return f.next.Count() }
 
+// LoadCurrent replaces the current set with exactly the given members and
+// clears the next set — the checkpoint-restore entry point. Not safe
+// concurrently with iteration.
+func (f *Frontier) LoadCurrent(members []int) {
+	f.cur.ClearAll()
+	f.next.ClearAll()
+	for _, v := range members {
+		f.cur.Set(v)
+	}
+	f.rebuild()
+}
+
 // Advance swaps buffers: the accumulated next set becomes current and the
 // new next set is cleared. It returns the size of the new current set, so
 // callers can detect convergence (size 0). Must be called at a barrier.

@@ -10,11 +10,13 @@ import (
 	"compress/gzip"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"ndgraph/internal/fsafe"
 	"ndgraph/internal/graph"
 )
 
@@ -141,54 +143,75 @@ func ReadMatrixMarket(r io.Reader, opt graph.Options) (*graph.Graph, error) {
 }
 
 // Binary format: magic, version, n, m, then m (src, dst) uint32 pairs,
-// little-endian. Stable across platforms.
+// little-endian, followed (since version 2) by a CRC32 (IEEE) trailer over
+// everything before it. Stable across platforms. The checksum turns a
+// truncated or torn file into a load-time error instead of a silently
+// wrong graph.
 const (
 	binMagic   = 0x4e444752 // "NDGR"
-	binVersion = 1
+	binVersion = 2
 )
 
-// WriteBinary writes g in ndgraph binary format.
+// WriteBinary writes g in ndgraph binary format (version 2, checksummed).
 func WriteBinary(w io.Writer, g *graph.Graph) error {
 	bw := bufio.NewWriter(w)
+	h := crc32.NewIEEE()
+	mw := io.MultiWriter(bw, h)
 	hdr := []uint32{binMagic, binVersion, uint32(g.N()), uint32(g.M())}
-	for _, h := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+	for _, x := range hdr {
+		if err := binary.Write(mw, binary.LittleEndian, x); err != nil {
 			return err
 		}
 	}
 	for v := uint32(0); int(v) < g.N(); v++ {
 		for _, d := range g.OutNeighbors(v) {
-			if err := binary.Write(bw, binary.LittleEndian, [2]uint32{v, d}); err != nil {
+			if err := binary.Write(mw, binary.LittleEndian, [2]uint32{v, d}); err != nil {
 				return err
 			}
 		}
 	}
+	if err := binary.Write(bw, binary.LittleEndian, h.Sum32()); err != nil {
+		return err
+	}
 	return bw.Flush()
 }
 
-// ReadBinary reads a graph written by WriteBinary.
+// ReadBinary reads a graph written by WriteBinary. Version-2 files carry a
+// CRC32 trailer, verified here; version-1 files (no trailer) still load.
 func ReadBinary(r io.Reader) (*graph.Graph, error) {
 	br := bufio.NewReader(r)
+	h := crc32.NewIEEE()
+	tr := io.TeeReader(br, h)
 	var hdr [4]uint32
 	for i := range hdr {
-		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+		if err := binary.Read(tr, binary.LittleEndian, &hdr[i]); err != nil {
 			return nil, fmt.Errorf("loader: binary header: %v", err)
 		}
 	}
 	if hdr[0] != binMagic {
 		return nil, fmt.Errorf("loader: bad magic %#x", hdr[0])
 	}
-	if hdr[1] != binVersion {
+	if hdr[1] != 1 && hdr[1] != binVersion {
 		return nil, fmt.Errorf("loader: unsupported binary version %d", hdr[1])
 	}
 	n, m := int(hdr[2]), int(hdr[3])
 	edges := make([]graph.Edge, m)
 	for i := range edges {
 		var pair [2]uint32
-		if err := binary.Read(br, binary.LittleEndian, &pair); err != nil {
-			return nil, fmt.Errorf("loader: binary edge %d: %v", i, err)
+		if err := binary.Read(tr, binary.LittleEndian, &pair); err != nil {
+			return nil, fmt.Errorf("loader: binary edge %d: %v (file truncated?)", i, err)
 		}
 		edges[i] = graph.Edge{Src: pair[0], Dst: pair[1]}
+	}
+	if hdr[1] >= 2 {
+		want := h.Sum32()
+		var got uint32
+		if err := binary.Read(br, binary.LittleEndian, &got); err != nil {
+			return nil, fmt.Errorf("loader: binary checksum: %v (file truncated?)", err)
+		}
+		if got != want {
+			return nil, fmt.Errorf("loader: binary checksum mismatch (file %#x, computed %#x): file is truncated or corrupted", got, want)
+		}
 	}
 	return graph.Build(edges, graph.Options{NumVertices: n})
 }
@@ -225,24 +248,18 @@ func LoadFile(path string, opt graph.Options) (*graph.Graph, error) {
 }
 
 // SaveFile writes a graph to path, selecting the format by extension the
-// same way LoadFile does (.mtx is not supported for writing).
+// same way LoadFile does (.mtx is not supported for writing). The write is
+// atomic — the data lands in a temp file that is fsynced and renamed over
+// path — so a crash mid-save never leaves a half-written graph under the
+// destination name.
 func SaveFile(path string, g *graph.Graph) error {
 	if strings.HasSuffix(path, ".mtx") {
 		return fmt.Errorf("loader: writing MatrixMarket is not supported")
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".bin") {
-		if err := WriteBinary(f, g); err != nil {
-			return err
+	return fsafe.WriteFile(path, func(w io.Writer) error {
+		if strings.HasSuffix(path, ".bin") {
+			return WriteBinary(w, g)
 		}
-	} else {
-		if err := WriteEdgeList(f, g); err != nil {
-			return err
-		}
-	}
-	return f.Sync()
+		return WriteEdgeList(w, g)
+	})
 }

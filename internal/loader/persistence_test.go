@@ -1,0 +1,108 @@
+package loader
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ndgraph/internal/gen"
+	"ndgraph/internal/graph"
+)
+
+func writeBinFile(t *testing.T, dir string) (string, []byte) {
+	t.Helper()
+	g, err := gen.RMAT(50, 200, gen.DefaultRMAT, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "g.bin")
+	if err := SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+func TestBinaryCorruptionDetected(t *testing.T) {
+	path, data := writeBinFile(t, t.TempDir())
+	// Flip a byte inside the edge region (past the 16-byte header), so the
+	// failure is attributable to the checksum, not header parsing.
+	data[16+len(data)/2%16] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile(path, graph.Options{})
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("corrupted binary: got %v, want checksum mismatch", err)
+	}
+}
+
+func TestBinaryTruncationDetected(t *testing.T) {
+	path, data := writeBinFile(t, t.TempDir())
+	if err := os.WriteFile(path, data[:len(data)-6], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, graph.Options{}); err == nil {
+		t.Fatal("truncated binary accepted")
+	}
+}
+
+func TestSaveFileLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	writeBinFile(t, dir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "g.bin" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("save dir holds %v, want only g.bin", names)
+	}
+}
+
+// Version-1 binaries predate the CRC trailer; they must keep loading.
+func TestBinaryV1StillLoads(t *testing.T) {
+	g, err := gen.RMAT(30, 120, gen.DefaultRMAT, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, x := range []uint32{binMagic, 1, uint32(g.N()), uint32(g.M())} {
+		if err := binary.Write(&buf, binary.LittleEndian, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := uint32(0); int(v) < g.N(); v++ {
+		for _, d := range g.OutNeighbors(v) {
+			if err := binary.Write(&buf, binary.LittleEndian, [2]uint32{v, d}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("v1 binary rejected: %v", err)
+	}
+	assertSameGraph(t, g, got)
+}
+
+func TestBinaryRejectsFutureVersion(t *testing.T) {
+	var buf bytes.Buffer
+	for _, x := range []uint32{binMagic, 99, 0, 0} {
+		if err := binary.Write(&buf, binary.LittleEndian, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ReadBinary(&buf); err == nil || !strings.Contains(err.Error(), "unsupported binary version") {
+		t.Fatalf("future version: got %v, want unsupported binary version", err)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ndgraph/internal/core"
 	"ndgraph/internal/frontier"
 	"ndgraph/internal/graph"
 	"ndgraph/internal/sched"
@@ -102,7 +103,7 @@ func NewEngine(g *graph.Graph, mode Mode, threads int) (*Engine, error) {
 		p:        threads,
 		Vertices: make([]uint64, g.N()),
 		front:    frontier.NewFrontier(g.N()),
-		maxIters: 1 << 20,
+		maxIters: core.DefaultMaxIters,
 	}, nil
 }
 

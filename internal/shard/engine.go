@@ -1,12 +1,16 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"ndgraph/internal/core"
 	"ndgraph/internal/edgedata"
+	"ndgraph/internal/fault"
 	"ndgraph/internal/frontier"
 	"ndgraph/internal/sched"
 )
@@ -18,8 +22,17 @@ type Options struct {
 	// Mode is the atomicity method for the in-memory window buffers.
 	// Parallel execution refuses ModeSequential.
 	Mode edgedata.Mode
-	// MaxIters caps full passes over the intervals; 0 = 1<<20.
+	// MaxIters caps full passes over the intervals; 0 = core.DefaultMaxIters.
 	MaxIters int
+	// Context, when non-nil, cancels the run; checked before every
+	// interval, so a cancelled run stops within one interval load.
+	Context context.Context
+	// StallWindow enables the divergence watchdog (see core.Options).
+	StallWindow int
+	// Inject, when non-nil, arms the fault injector for the run: each
+	// interval's in-memory window store is wrapped, faulted slots
+	// reschedule both endpoints, and an injected crash aborts the pass.
+	Inject *fault.Injector
 }
 
 // Result reports a PSW run.
@@ -39,6 +52,21 @@ type Engine struct {
 	opts Options
 
 	front *frontier.Frontier
+
+	// curSub is the interval working set currently executing; the fault
+	// injector's heal hook reads it to map window slots back to endpoints.
+	// Written only between interval dispatches (workers quiescent).
+	curSub atomic.Pointer[subgraph]
+
+	// panicked records the first recovered UpdateFunc panic of the run.
+	panicked atomic.Pointer[updatePanic]
+}
+
+// updatePanic captures a recovered UpdateFunc panic.
+type updatePanic struct {
+	vertex uint32
+	value  any
+	stack  []byte
 }
 
 // NewEngine binds an executor to storage.
@@ -53,7 +81,7 @@ func NewEngine(st *Storage, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("shard: %d threads require a concurrent edge-data mode", opts.Threads)
 	}
 	if opts.MaxIters <= 0 {
-		opts.MaxIters = 1 << 20
+		opts.MaxIters = core.DefaultMaxIters
 	}
 	return &Engine{st: st, opts: opts, front: frontier.NewFrontier(st.N())}, nil
 }
@@ -72,12 +100,50 @@ func (e *Engine) Run(update core.UpdateFunc) (Result, error) {
 	if update == nil {
 		return Result{}, fmt.Errorf("shard: nil update function")
 	}
+	e.panicked.Store(nil)
+	if inj := e.opts.Inject; inj != nil {
+		// Heal rule: window slots map back to endpoints through the
+		// currently loaded interval's working set.
+		inj.Arm(func(slot uint32) {
+			sub := e.curSub.Load()
+			if sub == nil || int(2*slot+1) >= len(sub.ends) {
+				return
+			}
+			e.front.Schedule(int(sub.ends[2*slot]))
+			e.front.Schedule(int(sub.ends[2*slot+1]))
+		})
+		defer inj.Disarm()
+	}
 	res := Result{Converged: true}
+	bestActive := e.st.N() + 1
+	stalled := 0
 	start := time.Now()
 	for e.front.Size() > 0 {
+		if ctx := e.opts.Context; ctx != nil {
+			if err := ctx.Err(); err != nil {
+				res.Converged = false
+				res.Duration = time.Since(start)
+				return res, err
+			}
+		}
 		if res.Iterations >= e.opts.MaxIters {
 			res.Converged = false
 			break
+		}
+		if inj := e.opts.Inject; inj != nil && inj.CrashNow(res.Iterations) {
+			res.Converged = false
+			res.Duration = time.Since(start)
+			return res, fmt.Errorf("shard: iteration %d: %w", res.Iterations, fault.ErrCrash)
+		}
+		if k := e.opts.StallWindow; k > 0 {
+			if size := e.front.Size(); size < bestActive {
+				bestActive, stalled = size, 0
+			} else if stalled++; stalled >= k {
+				res.Converged = false
+				res.Duration = time.Since(start)
+				return res, fmt.Errorf("shard: iteration %d: active vertices %d (best %d) unimproved for %d iterations: %w",
+					res.Iterations, e.front.Size(), bestActive, k, core.ErrStalled)
+			}
 		}
 		members := e.front.Members()
 		cursor := 0
@@ -92,18 +158,40 @@ func (e *Engine) Run(update core.UpdateFunc) (Result, error) {
 			if len(scheduled) == 0 {
 				continue
 			}
+			if ctx := e.opts.Context; ctx != nil {
+				if err := ctx.Err(); err != nil {
+					res.Converged = false
+					res.Duration = time.Since(start)
+					return res, err
+				}
+			}
 			sub, err := e.load(i)
 			if err != nil {
 				return res, err
 			}
 			res.BytesRead += sub.bytesRead
+			e.curSub.Store(sub)
 
 			run := func(worker, v int) {
+				if e.panicked.Load() != nil {
+					return
+				}
+				defer func() {
+					if r := recover(); r != nil {
+						e.panicked.CompareAndSwap(nil, &updatePanic{vertex: uint32(v), value: r, stack: debug.Stack()})
+					}
+				}()
 				view := &sub.views[worker]
 				view.bind(uint32(v))
 				update(view)
 			}
 			sched.ParallelBlocks(scheduled, e.opts.Threads, run)
+			e.curSub.Store(nil)
+			if p := e.panicked.Load(); p != nil {
+				res.Converged = false
+				res.Duration = time.Since(start)
+				return res, fmt.Errorf("shard: update function panicked on vertex %d: %v\n%s", p.vertex, p.value, p.stack)
+			}
 			res.Updates += int64(len(scheduled))
 
 			written, err := e.flush(sub)
@@ -134,6 +222,9 @@ type subgraph struct {
 	store     edgedata.Store
 	ranges    []loadedRange
 	bytesRead int64
+	// ends maps window slot s to its endpoints (ends[2s], ends[2s+1]);
+	// built only under fault injection, for the heal hook.
+	ends []uint32
 
 	// Per local vertex adjacency: in-edges (from shard i) and out-edges
 	// (from the windows).
@@ -180,6 +271,9 @@ func (e *Engine) load(i int) (*subgraph, error) {
 	}
 
 	sub.store = edgedata.New(e.opts.Mode, int(total))
+	if e.opts.Inject != nil {
+		sub.ends = make([]uint32, 2*total)
+	}
 	vals := make([]uint64, total)
 	slot := int64(0)
 	for _, r := range plan {
@@ -196,6 +290,9 @@ func (e *Engine) load(i int) (*subgraph, error) {
 		for j := int64(0); j < r.count; j++ {
 			src, dst := recs[2*j], recs[2*j+1]
 			s := uint32(slot + j)
+			if sub.ends != nil {
+				sub.ends[2*s], sub.ends[2*s+1] = src, dst
+			}
 			if isFull {
 				// In-edge of dst (dst ∈ interval i by shard invariant).
 				lv := dst - iv.Lo
@@ -218,6 +315,11 @@ func (e *Engine) load(i int) (*subgraph, error) {
 	}
 	for j, v := range vals {
 		sub.store.Store(uint32(j), v)
+	}
+	if inj := e.opts.Inject; inj != nil {
+		// Wrap after the fill so the stale-read shadow seeds from the
+		// loaded values, not zeros.
+		sub.store = inj.Wrap(sub.store)
 	}
 	sub.ranges = plan
 	sub.views = make([]shardView, e.opts.Threads)

@@ -1,0 +1,174 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"ndgraph/internal/algorithms"
+	"ndgraph/internal/core"
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/fault"
+	"ndgraph/internal/gen"
+	"ndgraph/internal/graph"
+)
+
+// initWCC seeds storage with the min-label initial state.
+func initWCC(t *testing.T, st *Storage) {
+	t.Helper()
+	for v := range st.Vertices {
+		st.Vertices[v] = uint64(v)
+	}
+	if err := st.FillValues(^uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func rmatGraph(t *testing.T, seed uint64) *graph.Graph {
+	t.Helper()
+	g, err := gen.RMAT(400, 2400, gen.DefaultRMAT, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// The out-of-core engine under injection: window slots map back to endpoint
+// reschedules through the current interval's working set, so Theorem 2's
+// retry argument holds across interval loads — WCC must reconverge exactly.
+func TestShardWCCReconvergesUnderInjection(t *testing.T) {
+	g := rmatGraph(t, 31)
+	want := algorithms.ReferenceWCC(g)
+	var injected int64
+	for _, seed := range []uint64{1, 2, 3} {
+		inj := fault.MustInjector(fault.Plan{
+			Seed:      seed,
+			TornWrite: 0.02,
+			DropWrite: 0.05,
+			StaleRead: 0.05,
+			MaxFaults: 5000,
+		})
+		st := buildStorage(t, g, 3)
+		initWCC(t, st)
+		e, err := NewEngine(st, Options{Threads: 2, Mode: edgedata.ModeAtomic, Inject: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Frontier().ScheduleAll()
+		res, err := e.Run(minLabel)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: did not converge (%v)", seed, inj.Stats())
+		}
+		for v := range want {
+			if uint32(st.Vertices[v]) != want[v] {
+				t.Fatalf("seed %d (%v): vertex %d = %d, want %d",
+					seed, inj.Stats(), v, st.Vertices[v], want[v])
+			}
+		}
+		injected += inj.Stats().Total()
+	}
+	if injected == 0 {
+		t.Fatal("no faults injected: the recovery test exercised nothing")
+	}
+}
+
+// An injected crash mid-run leaves the flushed on-disk values as the
+// recovery point; a fresh engine over the same storage finishes the job.
+func TestShardCrashThenRerunRecovers(t *testing.T) {
+	g := rmatGraph(t, 32)
+	want := algorithms.ReferenceWCC(g)
+	st := buildStorage(t, g, 3)
+	initWCC(t, st)
+
+	inj := fault.MustInjector(fault.Plan{CrashIter: 1})
+	crash, err := NewEngine(st, Options{Threads: 2, Mode: edgedata.ModeAtomic, Inject: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash.Frontier().ScheduleAll()
+	if _, err := crash.Run(minLabel); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("crash run returned %v, want fault.ErrCrash", err)
+	}
+
+	resumed, err := NewEngine(st, Options{Threads: 2, Mode: edgedata.ModeAtomic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Frontier().ScheduleAll()
+	res, err := resumed.Run(minLabel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("rerun did not converge")
+	}
+	for v := range want {
+		if uint32(st.Vertices[v]) != want[v] {
+			t.Fatalf("vertex %d = %d after crash+rerun, want %d", v, st.Vertices[v], want[v])
+		}
+	}
+}
+
+func TestShardContextCancelledBeforeRun(t *testing.T) {
+	g, _ := gen.Ring(64)
+	st := buildStorage(t, g, 2)
+	initWCC(t, st)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e, err := NewEngine(st, Options{Threads: 1, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Frontier().ScheduleAll()
+	res, err := e.Run(minLabel)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Converged || res.Iterations != 0 {
+		t.Fatalf("pre-cancelled run reported %+v", res)
+	}
+}
+
+func TestShardUpdatePanicSurfacedAsError(t *testing.T) {
+	g, _ := gen.Ring(64)
+	st := buildStorage(t, g, 2)
+	initWCC(t, st)
+	e, err := NewEngine(st, Options{Threads: 2, Mode: edgedata.ModeAtomic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Frontier().ScheduleAll()
+	_, err = e.Run(func(ctx core.VertexView) {
+		if ctx.V() == 17 {
+			panic("kaboom")
+		}
+		minLabel(ctx)
+	})
+	if err == nil {
+		t.Fatal("panic not surfaced")
+	}
+	if !strings.Contains(err.Error(), "panicked on vertex 17") || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic error lacks context: %v", err)
+	}
+}
+
+func TestShardStallWatchdogAbortsDivergentRun(t *testing.T) {
+	g, _ := gen.Ring(16)
+	st := buildStorage(t, g, 2)
+	e, err := NewEngine(st, Options{Threads: 1, StallWindow: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Frontier().ScheduleAll()
+	res, err := e.Run(func(ctx core.VertexView) { ctx.ScheduleSelf() })
+	if !errors.Is(err, core.ErrStalled) {
+		t.Fatalf("err = %v, want core.ErrStalled", err)
+	}
+	if res.Converged || res.Iterations > 10 {
+		t.Fatalf("watchdog result %+v", res)
+	}
+}

@@ -24,9 +24,11 @@ package shard
 import (
 	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
+	"ndgraph/internal/fsafe"
 	"ndgraph/internal/graph"
 )
 
@@ -96,62 +98,55 @@ func Build(g *graph.Graph, dir string, numShards int) (*Storage, error) {
 	// Emit each shard: edges with dst in the interval, sorted by (src,
 	// dst). The canonical edge order of graph.Graph is (src, dst)-sorted,
 	// so walking vertices in order and filtering by dst-interval yields
-	// records already in shard order.
+	// records already in shard order. Both files land atomically (temp +
+	// rename via fsafe), so an interrupted Build never leaves a
+	// half-written shard under its final name.
 	for k, iv := range s.intervals {
 		meta := shardMeta{Windows: make([]window, len(s.intervals))}
-		ef, err := os.Create(s.edgePath(k))
-		if err != nil {
-			return nil, err
-		}
-		buf := make([]byte, 0, 1<<16)
-		srcInterval := 0
-		for v := uint32(0); int(v) < g.N(); v++ {
-			for srcInterval+1 < len(s.intervals) && v >= s.intervals[srcInterval].Hi {
-				srcInterval++
-			}
-			for _, d := range g.OutNeighbors(v) {
-				if !iv.Contains(d) {
-					continue
+		err := fsafe.WriteFile(s.edgePath(k), func(w io.Writer) error {
+			srcInterval := 0
+			for v := uint32(0); int(v) < g.N(); v++ {
+				for srcInterval+1 < len(s.intervals) && v >= s.intervals[srcInterval].Hi {
+					srcInterval++
 				}
-				if meta.Windows[srcInterval].Count == 0 {
-					meta.Windows[srcInterval].Off = meta.Edges
-				}
-				meta.Windows[srcInterval].Count++
-				var rec [recordBytes]byte
-				binary.LittleEndian.PutUint32(rec[0:4], v)
-				binary.LittleEndian.PutUint32(rec[4:8], d)
-				buf = append(buf, rec[:]...)
-				meta.Edges++
-				if len(buf) >= 1<<16 {
-					if _, err := ef.Write(buf); err != nil {
-						ef.Close()
-						return nil, err
+				for _, d := range g.OutNeighbors(v) {
+					if !iv.Contains(d) {
+						continue
 					}
-					buf = buf[:0]
+					if meta.Windows[srcInterval].Count == 0 {
+						meta.Windows[srcInterval].Off = meta.Edges
+					}
+					meta.Windows[srcInterval].Count++
+					var rec [recordBytes]byte
+					binary.LittleEndian.PutUint32(rec[0:4], v)
+					binary.LittleEndian.PutUint32(rec[4:8], d)
+					if _, err := w.Write(rec[:]); err != nil {
+						return err
+					}
+					meta.Edges++
 				}
 			}
-		}
-		if len(buf) > 0 {
-			if _, err := ef.Write(buf); err != nil {
-				ef.Close()
-				return nil, err
-			}
-		}
-		if err := ef.Close(); err != nil {
+			return nil
+		})
+		if err != nil {
 			return nil, err
 		}
 		// Zero value file of matching length.
-		vf, err := os.Create(s.valuePath(k))
-		if err != nil {
-			return nil, err
-		}
-		if meta.Edges > 0 {
-			if err := vf.Truncate(meta.Edges * valueBytes); err != nil {
-				vf.Close()
-				return nil, err
+		err = fsafe.WriteFile(s.valuePath(k), func(w io.Writer) error {
+			zeros := make([]byte, 1<<16)
+			for left := meta.Edges * valueBytes; left > 0; {
+				n := int64(len(zeros))
+				if n > left {
+					n = left
+				}
+				if _, err := w.Write(zeros[:n]); err != nil {
+					return err
+				}
+				left -= n
 			}
-		}
-		if err := vf.Close(); err != nil {
+			return nil
+		})
+		if err != nil {
 			return nil, err
 		}
 		s.shards = append(s.shards, meta)

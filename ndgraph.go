@@ -36,8 +36,10 @@ import (
 	"ndgraph/internal/async"
 	"ndgraph/internal/autonomous"
 	"ndgraph/internal/core"
+	"ndgraph/internal/dist"
 	"ndgraph/internal/edgedata"
 	"ndgraph/internal/eligibility"
+	"ndgraph/internal/fault"
 	"ndgraph/internal/gen"
 	"ndgraph/internal/graph"
 	"ndgraph/internal/loader"
@@ -233,6 +235,51 @@ var (
 	BuildShards = shard.Build
 	// NewShardEngine binds a PSW executor to sharded storage.
 	NewShardEngine = shard.NewEngine
+)
+
+// Robustness: fault injection, divergence watchdog, checkpointing.
+type (
+	// FaultPlan configures the seeded fault injector.
+	FaultPlan = fault.Plan
+	// FaultInjector corrupts edge operations per a FaultPlan; plug it into
+	// Options.Inject (core), AsyncOptions.Inject, or ShardOptions.Inject.
+	FaultInjector = fault.Injector
+	// FaultStats tallies injected faults.
+	FaultStats = fault.Stats
+)
+
+var (
+	// NewFaultInjector builds a fault injector from a plan.
+	NewFaultInjector = fault.NewInjector
+	// ErrInjectedCrash is returned by a run killed by an injected crash.
+	ErrInjectedCrash = fault.ErrCrash
+	// ErrStalled is returned when the divergence watchdog
+	// (Options.StallWindow) aborts a non-converging run.
+	ErrStalled = core.ErrStalled
+)
+
+// DefaultMaxIters is the iteration cap engines apply when Options.MaxIters
+// is unset — a backstop against algorithms that never converge.
+const DefaultMaxIters = core.DefaultMaxIters
+
+// Distributed-simulation execution (message passing over a lossy,
+// reordering, duplicating network).
+type (
+	// DistPropagation declares a monotone message-passing computation.
+	DistPropagation = dist.Propagation
+	// DistOptions configures the simulated cluster.
+	DistOptions = dist.Options
+	// DistResult reports a distributed run.
+	DistResult = dist.Result
+)
+
+var (
+	// DistRun executes a propagation on the simulated cluster.
+	DistRun = dist.Run
+	// DistWCC runs distributed weakly connected components.
+	DistWCC = dist.WCC
+	// DistSSSP runs distributed single-source shortest paths.
+	DistSSSP = dist.SSSP
 )
 
 // TraceRecorder records execution paths (Options.Trace).

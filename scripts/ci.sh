@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI gate: vet, build, full test suite, then a race-detector pass over the
+# concurrency-heavy packages. ModeAligned's deliberate benign races are
+# excluded from race builds via build tags, so -race must stay clean.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed:" "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrency-heavy packages, short) =="
+go test -race -short ./internal/core/ ./internal/async/ ./internal/dist/ ./internal/fault/ ./internal/shard/
+
+echo "CI OK"

@@ -297,6 +297,55 @@ func BenchmarkDistributedWCC(b *testing.B) {
 	}
 }
 
+// hotPathUpdate re-schedules every vertex so a Run capped at b.N iterations
+// exercises exactly b.N trips through the dispatch machinery — frontier
+// rebuild, (for Synchronous) edge snapshot, pool barrier, update calls.
+func hotPathUpdate(ctx core.VertexView) {
+	ctx.SetVertex(ctx.Vertex())
+	ctx.ScheduleSelf()
+}
+
+// BenchmarkHotPathIteration measures the per-iteration cost of the engine's
+// steady-state dispatch path; with -benchmem the B/op and allocs/op columns
+// certify the allocation-free hot path (the persistent worker pool, reused
+// snapshot buffers, and deferred frontier rebuild).
+func BenchmarkHotPathIteration(b *testing.B) {
+	gs := getGraphs(b)
+	g := gs["web-google"]
+	mode := edgedata.ModeAligned
+	if raceEnabled {
+		mode = edgedata.ModeAtomic
+	}
+	cases := []struct {
+		name string
+		opts core.Options
+	}{
+		{"det", core.Options{Scheduler: sched.Deterministic}},
+		{"nondet-static/P4", core.Options{Scheduler: sched.Nondeterministic, Dispatch: sched.Static, Threads: 4, Mode: mode}},
+		{"nondet-dynamic/P4", core.Options{Scheduler: sched.Nondeterministic, Dispatch: sched.Dynamic, Threads: 4, Mode: mode}},
+		{"sync/P4", core.Options{Scheduler: sched.Synchronous, Threads: 4, Mode: mode}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			opts := tc.opts
+			opts.MaxIters = b.N
+			e, err := core.NewEngine(g, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			e.Frontier().ScheduleAll()
+			b.ReportAllocs()
+			b.ResetTimer()
+			res, err := e.Run(hotPathUpdate)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Updates)/b.Elapsed().Seconds(), "updates/s")
+		})
+	}
+}
+
 // BenchmarkAutonomousVsCoordinatedSSSP contrasts the two scheduling
 // categories of the paper's Section I on the same SSSP instance.
 func BenchmarkAutonomousVsCoordinatedSSSP(b *testing.B) {

@@ -1,0 +1,180 @@
+// Command benchjson converts `go test -bench` text output into the
+// machine-readable BENCH_*.json format consumed by the repository's
+// performance tracking (see scripts/bench.sh):
+//
+//	go test -bench . -benchmem ./... | benchjson -out BENCH_PR2.json
+//	benchjson -validate BENCH_PR2.json
+//
+// The emitted document follows the "ndgraph-bench/v1" schema: a header
+// identifying the machine (goos, goarch, cpu) and one entry per benchmark
+// result line carrying the iteration count, the standard ns/op, B/op and
+// allocs/op columns, and any custom b.ReportMetric units (e.g. updates/s)
+// in a free-form metrics map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the output document format.
+const Schema = "ndgraph-bench/v1"
+
+// Benchmark is one `Benchmark...` result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Pkg         string             `json:"pkg,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BPerOp      float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the full BENCH_*.json payload.
+type Document struct {
+	Schema     string      `json:"schema"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output and collects the benchmark lines.
+// Non-benchmark lines (PASS, ok, test logs) are ignored, so the full
+// test-run transcript can be piped in unfiltered.
+func Parse(r io.Reader) (*Document, error) {
+	doc := &Document{Schema: Schema}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			b.Pkg = pkg
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBenchLine decodes one result line:
+//
+//	BenchmarkName-8  100  12345 ns/op  24 B/op  2 allocs/op  1e6 updates/s
+//
+// The fields after the iteration count come in value/unit pairs.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = val
+		case "B/op":
+			b.BPerOp = val
+		case "allocs/op":
+			b.AllocsPerOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, true
+}
+
+// Validate checks that data is a well-formed non-empty v1 document.
+func Validate(data []byte) error {
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if doc.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", doc.Schema, Schema)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("document contains no benchmarks")
+	}
+	for i, b := range doc.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("benchmark %d has no name", i)
+		}
+		if b.Iterations <= 0 {
+			return fmt.Errorf("benchmark %q has iterations %d", b.Name, b.Iterations)
+		}
+	}
+	return nil
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON to this file instead of stdout")
+	validate := flag.String("validate", "", "validate an existing BENCH_*.json file and exit")
+	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		if err := Validate(data); err != nil {
+			fatal(fmt.Errorf("%s: %w", *validate, err))
+		}
+		return
+	}
+
+	doc, err := Parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: ndgraph
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkHotPathIteration/det-8         	     100	    105520 ns/op	  43985370 updates/s	     392 B/op	       5 allocs/op
+BenchmarkHotPathIteration/sync/P4-8     	      50	    173081 ns/op	  26644647 updates/s	   58648 B/op	      15 allocs/op
+PASS
+ok  	ndgraph	0.144s
+pkg: ndgraph/internal/sched
+BenchmarkPoolBlocks-8   	  123456	      9876 ns/op	       0 B/op	       0 allocs/op
+some unrelated log line
+FAIL
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != Schema {
+		t.Fatalf("schema = %q", doc.Schema)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("header = %q/%q/%q", doc.GOOS, doc.GOARCH, doc.CPU)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+
+	det := doc.Benchmarks[0]
+	if det.Name != "BenchmarkHotPathIteration/det-8" || det.Pkg != "ndgraph" {
+		t.Fatalf("first benchmark = %q pkg %q", det.Name, det.Pkg)
+	}
+	if det.Iterations != 100 || det.NsPerOp != 105520 || det.BPerOp != 392 || det.AllocsPerOp != 5 {
+		t.Fatalf("first benchmark fields = %+v", det)
+	}
+	if det.Metrics["updates/s"] != 43985370 {
+		t.Fatalf("custom metric = %v", det.Metrics)
+	}
+
+	pool := doc.Benchmarks[2]
+	if pool.Pkg != "ndgraph/internal/sched" {
+		t.Fatalf("pkg tracking across blocks broken: %q", pool.Pkg)
+	}
+	if pool.BPerOp != 0 || pool.AllocsPerOp != 0 || pool.Metrics != nil {
+		t.Fatalf("zero-alloc benchmark fields = %+v", pool)
+	}
+}
+
+func TestParsedDocumentValidates(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("round-tripped document rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"not json":       `{`,
+		"wrong schema":   `{"schema":"other/v9","benchmarks":[{"name":"B","iterations":1}]}`,
+		"no benchmarks":  `{"schema":"` + Schema + `","benchmarks":[]}`,
+		"unnamed entry":  `{"schema":"` + Schema + `","benchmarks":[{"iterations":1}]}`,
+		"zero iteration": `{"schema":"` + Schema + `","benchmarks":[{"name":"B","iterations":0}]}`,
+	}
+	for name, data := range cases {
+		if err := Validate([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,6 +31,7 @@ import (
 	"ndgraph/internal/fault"
 	"ndgraph/internal/frontier"
 	"ndgraph/internal/graph"
+	"ndgraph/internal/sched"
 )
 
 // Options configures an Executor.
@@ -79,6 +79,12 @@ type Executor struct {
 	stopped atomic.Bool
 	seeds   []int
 
+	// pool hosts the drain loops: repeated Runs reuse the same parked
+	// workers instead of spawning Threads goroutines per call.
+	pool *sched.Pool
+	// views holds one preallocated VertexView adapter per worker.
+	views []view
+
 	// panicked records the first recovered UpdateFunc panic; Run surfaces
 	// it as an error instead of letting a worker kill the process.
 	panicked atomic.Pointer[updatePanic]
@@ -112,6 +118,11 @@ func NewExecutor(g *graph.Graph, opts Options) (*Executor, error) {
 		Vertices: make([]uint64, g.N()),
 		pending:  frontier.NewBitset(g.N()),
 		active:   frontier.NewBitset(g.N()),
+		pool:     sched.NewPool(opts.Threads),
+		views:    make([]view, opts.Threads),
+	}
+	for i := range x.views {
+		x.views[i].x = x
 	}
 	if opts.Inject != nil {
 		x.Edges = opts.Inject.Wrap(x.Edges)
@@ -121,6 +132,16 @@ func NewExecutor(g *graph.Graph, opts Options) (*Executor, error) {
 
 // Graph returns the executor's graph.
 func (x *Executor) Graph() *graph.Graph { return x.g }
+
+// Close releases the executor's persistent worker pool. The executor stays
+// usable — a later Run re-creates the pool — but Close makes the release
+// deterministic instead of waiting for the pool's finalizer.
+func (x *Executor) Close() {
+	if x.pool != nil {
+		x.pool.Close()
+		x.pool = nil
+	}
+}
 
 // Seed marks v as initially scheduled.
 func (x *Executor) Seed(v uint32) { x.seeds = append(x.seeds, int(v)) }
@@ -179,6 +200,9 @@ func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
 		})
 		defer inj.Disarm()
 	}
+	if x.pool == nil { // re-create after Close
+		x.pool = sched.NewPool(x.opts.Threads)
+	}
 	// Queue capacity: every vertex can be pending at most once, plus one
 	// slot per worker for re-enqueues racing the pending-bit clear.
 	x.queue = make(chan int, x.g.N()+x.opts.Threads+1)
@@ -192,50 +216,44 @@ func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
 		return res, nil
 	}
 
-	var wg sync.WaitGroup
-	for w := 0; w < x.opts.Threads; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			view := &view{x: x}
-			for v := range x.queue {
-				x.pending.ClearAtomic(v)
-				if ctx := x.opts.Context; ctx != nil && ctx.Err() != nil {
-					// Cancellation: stop running updates and scheduling new
-					// work; the queue drains through the in-flight counter.
-					x.stopped.Store(true)
-				}
-				if !x.active.SetAtomic(v) {
-					// f(v) is running on another worker right now. Repost
-					// the wakeup (transferring our in-flight unit) unless
-					// someone already re-pended it, in which case this
-					// unit is redundant and simply retires.
-					if x.pending.SetAtomic(v) {
-						x.queue <- v
-						runtime.Gosched()
-						continue
-					}
-					if x.inFlite.Add(-1) == 0 {
-						close(x.queue)
-					}
+	x.pool.RunEach(func(w int) {
+		vw := &x.views[w]
+		for v := range x.queue {
+			x.pending.ClearAtomic(v)
+			if ctx := x.opts.Context; ctx != nil && ctx.Err() != nil {
+				// Cancellation: stop running updates and scheduling new
+				// work; the queue drains through the in-flight counter.
+				x.stopped.Store(true)
+			}
+			if !x.active.SetAtomic(v) {
+				// f(v) is running on another worker right now. Repost
+				// the wakeup (transferring our in-flight unit) unless
+				// someone already re-pended it, in which case this
+				// unit is redundant and simply retires.
+				if x.pending.SetAtomic(v) {
+					x.queue <- v
+					runtime.Gosched()
 					continue
 				}
-				switch {
-				case x.stopped.Load():
-					// Draining a stopped run: retire the task unrun.
-				case x.updates.Add(1) > x.opts.MaxUpdates:
-					x.stopped.Store(true)
-				default:
-					x.runOne(view, update, uint32(v))
-				}
-				x.active.ClearAtomic(v)
 				if x.inFlite.Add(-1) == 0 {
 					close(x.queue)
 				}
+				continue
 			}
-		}()
-	}
-	wg.Wait()
+			switch {
+			case x.stopped.Load():
+				// Draining a stopped run: retire the task unrun.
+			case x.updates.Add(1) > x.opts.MaxUpdates:
+				x.stopped.Store(true)
+			default:
+				x.runOne(vw, update, uint32(v))
+			}
+			x.active.ClearAtomic(v)
+			if x.inFlite.Add(-1) == 0 {
+				close(x.queue)
+			}
+		}
+	})
 	res.Updates = x.updates.Load()
 	if x.stopped.Load() {
 		res.Converged = false

@@ -127,7 +127,9 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 func writeCheckpointFile(t *testing.T, g *graph.Graph) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "state.ndck")
-	e := newEngine(t, g, Options{Scheduler: sched.Deterministic, CheckpointEvery: 2, CheckpointPath: path})
+	// CheckpointEvery 1, not 2: iteration 0 is never checkpointed, so the
+	// first write lands at iteration 1 — early enough for short fixtures.
+	e := newEngine(t, g, Options{Scheduler: sched.Deterministic, CheckpointEvery: 1, CheckpointPath: path})
 	initMinLabel(e)
 	if _, err := e.Run(minLabelUpdate); err != nil {
 		t.Fatal(err)
@@ -207,5 +209,101 @@ func TestCheckpointLeavesNoTempFiles(t *testing.T) {
 			names = append(names, en.Name())
 		}
 		t.Fatalf("checkpoint dir holds %v, want only state.ndck", names)
+	}
+}
+
+// Iteration 0 — the state before any update has run — must never be
+// checkpointed: the file would hold the initial state and buy nothing over
+// re-running Setup, and under CheckpointEvery=k it would burn a write on a
+// boundary that carries no progress.
+func TestCheckpointSkipsIterationZero(t *testing.T) {
+	g := ringGraph(t, 8)
+	path := filepath.Join(t.TempDir(), "state.ndck")
+	// A converged frontier ends the run at iteration boundary 0 with the
+	// checkpoint condition 0 % 1 == 0 — the old code wrote a file here.
+	e := newEngine(t, g, Options{Scheduler: sched.Deterministic, CheckpointEvery: 1, CheckpointPath: path})
+	// No vertices scheduled: Run exits at the first barrier, iteration 0.
+	if _, err := e.Run(minLabelUpdate); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("iteration 0 wrote a checkpoint (stat err %v), want none", err)
+	}
+}
+
+// After RestoreCheckpoint, the first barrier the resumed run reaches is the
+// restore point itself (res.Iterations == startIter), and startIter is a
+// multiple of CheckpointEvery by construction. Re-writing there would clobber
+// the good checkpoint with one recording zero new progress — and worse, a
+// crash during that redundant write could destroy the only recovery point.
+func TestRestoredRunDoesNotRewriteRestorePoint(t *testing.T) {
+	g := chainGraph(t, 40)
+	ckpt := filepath.Join(t.TempDir(), "state.ndck")
+
+	// Reference: uninterrupted run for the final state.
+	ref := newEngine(t, g, Options{Scheduler: sched.Deterministic})
+	initReversedLabels(ref)
+	if _, err := ref.Run(minLabelUpdate); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash at iteration 7 with checkpoints every 2: files at 2, 4, 6.
+	inj := fault.MustInjector(fault.Plan{CrashIter: 7})
+	crash := newEngine(t, g, Options{
+		Scheduler:       sched.Deterministic,
+		Inject:          inj,
+		CheckpointEvery: 2,
+		CheckpointPath:  ckpt,
+	})
+	initReversedLabels(crash)
+	if _, err := crash.Run(minLabelUpdate); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("crash run returned %v, want fault.ErrCrash", err)
+	}
+
+	resumed := newEngine(t, g, Options{
+		Scheduler:       sched.Deterministic,
+		CheckpointEvery: 2,
+		CheckpointPath:  ckpt,
+	})
+	iter, err := resumed.RestoreCheckpoint(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter != 6 {
+		t.Fatalf("resumed at iteration %d, want 6", iter)
+	}
+
+	// Delete the file, then run exactly one iteration past the restore
+	// point. The first barrier is iteration 6 == startIter: no write may
+	// happen there. (Deleting rather than chmod-ing: the tests run as root,
+	// where permission bits do not block writes.)
+	if err := os.Remove(ckpt); err != nil {
+		t.Fatal(err)
+	}
+	resumed.opts.MaxIters = 7
+	if _, err := resumed.Run(minLabelUpdate); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("first post-restore barrier rewrote the checkpoint (stat err %v), want no file", err)
+	}
+
+	// The run must still checkpoint *new* progress and converge to the
+	// reference state once the iteration cap is lifted.
+	resumed.opts.MaxIters = DefaultMaxIters
+	res, err := resumed.Run(minLabelUpdate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("resumed run did not converge")
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint written for post-restore progress: %v", err)
+	}
+	for v := range ref.Vertices {
+		if resumed.Vertices[v] != ref.Vertices[v] {
+			t.Fatalf("vertex %d: resumed %d, reference %d", v, resumed.Vertices[v], ref.Vertices[v])
+		}
 	}
 }

@@ -202,6 +202,19 @@ type Engine struct {
 	workers       []Ctx
 	shadowWorkers []Ctx // record-only replicas for PotentialCensus replay
 	updates       atomic.Int64
+
+	// pool holds the persistent workers that every parallel dispatch of
+	// this engine reuses — across iterations and across color classes —
+	// instead of spawning fresh goroutines per barrier.
+	pool *sched.Pool
+
+	// runFn is the per-item dispatch function (a bound runOne), created
+	// once so the per-iteration hot path passes a preexisting func value
+	// to the pool instead of allocating a closure every barrier.
+	runFn func(worker, item int)
+
+	// curUpdate is the UpdateFunc of the run in progress, read by runFn.
+	curUpdate UpdateFunc
 }
 
 // updatePanic captures a recovered UpdateFunc panic.
@@ -290,10 +303,8 @@ func (e *Engine) Run(update UpdateFunc) (Result, error) {
 	if e.opts.Scheduler == sched.Chromatic && e.colors == nil {
 		e.colors, e.numColors = sched.Colors(e.g)
 	}
-	if e.opts.Scheduler == sched.Synchronous && e.bspShadow == nil {
-		e.bspShadow = make([]uint64, e.g.M())
-	}
 	e.ensureWorkers()
+	e.curUpdate = update
 	e.updates.Store(e.startUpdates)
 	e.panicked.Store(nil)
 	if inj := e.opts.Inject; inj != nil {
@@ -336,7 +347,13 @@ func (e *Engine) Run(update UpdateFunc) (Result, error) {
 			finish()
 			return res, fmt.Errorf("core: iteration %d: %w", res.Iterations, fault.ErrCrash)
 		}
+		// Checkpoint at multiples of CheckpointEvery, but never at
+		// iteration 0 (a snapshot of initial state is useless) and never at
+		// the restore point itself — res.Iterations % CheckpointEvery == 0
+		// holds there by construction, and rewriting the checkpoint that
+		// was just loaded would only burn I/O.
 		if e.opts.CheckpointEvery > 0 && e.opts.CheckpointPath != "" &&
+			res.Iterations > 0 && res.Iterations != e.startIter &&
 			res.Iterations%e.opts.CheckpointEvery == 0 {
 			if err := e.saveCheckpoint(e.opts.CheckpointPath, res.Iterations, e.updates.Load()); err != nil {
 				res.Converged = false
@@ -355,14 +372,14 @@ func (e *Engine) Run(update UpdateFunc) (Result, error) {
 			}
 		}
 		if e.opts.Scheduler == sched.Synchronous {
-			e.bspShadow = e.Edges.Snapshot()
+			e.bspShadow = e.Edges.SnapshotInto(e.bspShadow)
 		}
 		if e.opts.PotentialCensus {
-			e.probeShadow = e.Edges.Snapshot()
+			e.probeShadow = e.Edges.SnapshotInto(e.probeShadow)
 		}
 		e.curIter = res.Iterations
 		members := e.front.Members()
-		e.dispatch(members, update)
+		e.dispatch(members)
 		if p := e.panicked.Load(); p != nil {
 			res.Converged = false
 			finish()
@@ -384,6 +401,12 @@ func (e *Engine) Run(update UpdateFunc) (Result, error) {
 }
 
 func (e *Engine) ensureWorkers() {
+	if e.pool == nil {
+		e.pool = sched.NewPool(e.opts.Threads)
+	}
+	if e.runFn == nil {
+		e.runFn = e.runOne
+	}
 	if len(e.workers) == e.opts.Threads {
 		return
 	}
@@ -400,45 +423,59 @@ func (e *Engine) ensureWorkers() {
 	}
 }
 
+// Close releases the engine's persistent worker pool. The engine stays
+// usable — the next Run re-creates the pool — but Close makes the release
+// deterministic instead of waiting for the pool's finalizer.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
+}
+
+// runOne executes the current run's update function on vertex v as worker
+// `worker`. It is dispatched through the prebound e.runFn so the per-
+// iteration hot path performs no closure allocation.
+func (e *Engine) runOne(worker, v int) {
+	if e.panicked.Load() != nil {
+		return // a sibling update panicked; drain the iteration fast
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicked.CompareAndSwap(nil, &updatePanic{vertex: uint32(v), value: r, stack: debug.Stack()})
+		}
+	}()
+	if e.opts.PotentialCensus {
+		sc := &e.shadowWorkers[worker]
+		sc.bind(uint32(v))
+		e.curUpdate(sc)
+	}
+	ctx := &e.workers[worker]
+	ctx.bind(uint32(v))
+	e.curUpdate(ctx)
+	if e.opts.Trace != nil {
+		e.opts.Trace.Record(e.curIter, worker, uint32(v), ctx.writes)
+	}
+}
+
 // dispatch runs one iteration's scheduled updates under the configured
 // strategy. members is ascending; blocks inherit that order, satisfying
 // the small-label-first rule.
-func (e *Engine) dispatch(members []int, update UpdateFunc) {
-	run := func(worker, v int) {
-		if e.panicked.Load() != nil {
-			return // a sibling update panicked; drain the iteration fast
-		}
-		defer func() {
-			if r := recover(); r != nil {
-				e.panicked.CompareAndSwap(nil, &updatePanic{vertex: uint32(v), value: r, stack: debug.Stack()})
-			}
-		}()
-		if e.opts.PotentialCensus {
-			sc := &e.shadowWorkers[worker]
-			sc.bind(uint32(v))
-			update(sc)
-		}
-		ctx := &e.workers[worker]
-		ctx.bind(uint32(v))
-		update(ctx)
-		if e.opts.Trace != nil {
-			e.opts.Trace.Record(e.curIter, worker, uint32(v), ctx.writes)
-		}
-	}
+func (e *Engine) dispatch(members []int) {
 	switch e.opts.Scheduler {
 	case sched.Deterministic:
-		sched.Sequential(members, run)
+		sched.Sequential(members, e.runFn)
 	case sched.Nondeterministic, sched.Synchronous:
-		e.parallel(members, run)
+		e.parallel(members)
 	case sched.Chromatic:
 		for _, class := range sched.ColorClasses(members, e.colors, e.numColors) {
 			if len(class) > 0 {
-				e.parallel(class, run)
+				e.parallel(class)
 			}
 		}
 	case sched.DIG:
 		for _, round := range sched.DIGRounds(e.g, members) {
-			e.parallel(round, run)
+			e.parallel(round)
 		}
 	default:
 		panic(fmt.Sprintf("core: unknown scheduler %v", e.opts.Scheduler))
@@ -446,14 +483,14 @@ func (e *Engine) dispatch(members []int, update UpdateFunc) {
 	e.updates.Add(int64(len(members)))
 }
 
-// parallel dispatches one iteration's members under the configured
-// intra-iteration policy.
-func (e *Engine) parallel(members []int, run func(worker, item int)) {
+// parallel dispatches one iteration's members over the persistent pool
+// under the configured intra-iteration policy.
+func (e *Engine) parallel(members []int) {
 	if e.opts.Dispatch == sched.Dynamic {
-		sched.ParallelChunks(members, e.opts.Threads, sched.DefaultChunk, run)
+		e.pool.RunChunks(members, sched.DefaultChunk, e.runFn)
 		return
 	}
-	sched.ParallelBlocks(members, e.opts.Threads, run)
+	e.pool.RunBlocks(members, e.runFn)
 }
 
 // NumColors reports the chromatic scheduler's color count (0 before the

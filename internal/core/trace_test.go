@@ -82,3 +82,18 @@ func TestTraceObservesMultipleWorkers(t *testing.T) {
 		t.Fatalf("nondeterministic trace saw at most %d workers", maxWorkers)
 	}
 }
+
+// Single-threaded Chromatic and DIG runs are deterministic: color classes and
+// independent-set rounds are dispatched through the pool's inline path in a
+// fixed order. Two runs must trace identically — this pins the worker pool's
+// degenerate (one-worker) dispatch to the exact behavior of the old one-shot
+// dispatchers.
+func TestTraceSingleThreadColorSchedulersIdentical(t *testing.T) {
+	for _, s := range []sched.Kind{sched.Chromatic, sched.DIG} {
+		a := runTraced(t, Options{Scheduler: s, Threads: 1, Mode: edgedata.ModeAtomic})
+		b := runTraced(t, Options{Scheduler: s, Threads: 1, Mode: edgedata.ModeAtomic})
+		if !trace.Equal(a, b) {
+			t.Fatalf("%v single-thread traces diverge at %d", s, trace.Divergence(a, b))
+		}
+	}
+}

@@ -102,6 +102,12 @@ type Store interface {
 	// Snapshot copies all slots into a fresh slice. Not concurrency-safe;
 	// barrier-time use only.
 	Snapshot() []uint64
+	// SnapshotInto copies all slots into dst, reallocating only when dst's
+	// capacity is insufficient, and returns the filled slice (dst may be
+	// nil). It is the allocation-free Snapshot for per-iteration use: the
+	// engine passes the previous iteration's buffer back in. Not
+	// concurrency-safe; barrier-time use only.
+	SnapshotInto(dst []uint64) []uint64
 	// Mode reports the atomicity method this store implements.
 	Mode() Mode
 }
@@ -151,11 +157,23 @@ func (s *plainStore) Fill(v uint64) {
 	}
 }
 func (s *plainStore) Snapshot() []uint64 {
-	out := make([]uint64, len(s.words))
-	copy(out, s.words)
-	return out
+	return s.SnapshotInto(nil)
+}
+func (s *plainStore) SnapshotInto(dst []uint64) []uint64 {
+	dst = sized(dst, len(s.words))
+	copy(dst, s.words)
+	return dst
 }
 func (s *plainStore) Mode() Mode { return s.mode }
+
+// sized returns dst resized to n slots, reallocating only when its
+// capacity is insufficient.
+func sized(dst []uint64, n int) []uint64 {
+	if cap(dst) < n {
+		return make([]uint64, n)
+	}
+	return dst[:n]
+}
 
 // atomicStore implements ModeAtomic with sync/atomic word operations.
 type atomicStore struct {
@@ -174,11 +192,14 @@ func (s *atomicStore) Fill(v uint64) {
 	}
 }
 func (s *atomicStore) Snapshot() []uint64 {
-	out := make([]uint64, len(s.words))
+	return s.SnapshotInto(nil)
+}
+func (s *atomicStore) SnapshotInto(dst []uint64) []uint64 {
+	dst = sized(dst, len(s.words))
 	for i := range s.words {
-		out[i] = atomic.LoadUint64(&s.words[i])
+		dst[i] = atomic.LoadUint64(&s.words[i])
 	}
-	return out
+	return dst
 }
 func (s *atomicStore) Mode() Mode { return ModeAtomic }
 
@@ -218,9 +239,12 @@ func (s *lockedStore) Fill(v uint64) {
 	}
 }
 func (s *lockedStore) Snapshot() []uint64 {
-	out := make([]uint64, len(s.words))
-	copy(out, s.words)
-	return out
+	return s.SnapshotInto(nil)
+}
+func (s *lockedStore) SnapshotInto(dst []uint64) []uint64 {
+	dst = sized(dst, len(s.words))
+	copy(dst, s.words)
+	return dst
 }
 func (s *lockedStore) Mode() Mode { return ModeLocked }
 

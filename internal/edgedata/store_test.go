@@ -208,3 +208,62 @@ func BenchmarkStoreLoad(b *testing.B) {
 		})
 	}
 }
+
+func TestSnapshotIntoAllModes(t *testing.T) {
+	for _, m := range allModes() {
+		s := New(m, 6)
+		for e := 0; e < 6; e++ {
+			s.Store(uint32(e), uint64(100+e))
+		}
+
+		// nil dst allocates a fresh slice equal to Snapshot().
+		got := s.SnapshotInto(nil)
+		want := s.Snapshot()
+		if len(got) != 6 {
+			t.Fatalf("%v: SnapshotInto(nil) len = %d, want 6", m, len(got))
+		}
+		for e := range want {
+			if got[e] != want[e] {
+				t.Fatalf("%v: slot %d = %d, want %d", m, e, got[e], want[e])
+			}
+		}
+
+		// A dst with sufficient capacity is reused, not reallocated.
+		s.Store(3, 999)
+		reused := s.SnapshotInto(got)
+		if &reused[0] != &got[0] {
+			t.Fatalf("%v: SnapshotInto reallocated despite sufficient capacity", m)
+		}
+		if reused[3] != 999 {
+			t.Fatalf("%v: reused snapshot slot 3 = %d, want 999", m, reused[3])
+		}
+
+		// An undersized dst grows; the result still carries every slot.
+		small := make([]uint64, 0, 2)
+		grown := s.SnapshotInto(small)
+		if len(grown) != 6 || grown[5] != 105 {
+			t.Fatalf("%v: grown snapshot = %v", m, grown)
+		}
+
+		// An oversized dst is trimmed to exactly n slots.
+		big := make([]uint64, 10)
+		trimmed := s.SnapshotInto(big)
+		if len(trimmed) != 6 {
+			t.Fatalf("%v: oversized dst trimmed to %d, want 6", m, len(trimmed))
+		}
+		if &trimmed[0] != &big[0] {
+			t.Fatalf("%v: oversized dst was reallocated", m)
+		}
+	}
+}
+
+func TestSnapshotIntoSteadyStateDoesNotAllocate(t *testing.T) {
+	for _, m := range allModes() {
+		s := New(m, 512)
+		s.Fill(7)
+		buf := s.SnapshotInto(nil)
+		if avg := testing.AllocsPerRun(50, func() { buf = s.SnapshotInto(buf) }); avg != 0 {
+			t.Errorf("%v: SnapshotInto into warm buffer allocates %.1f, want 0", m, avg)
+		}
+	}
+}

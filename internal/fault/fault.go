@@ -328,4 +328,6 @@ func (s *faultyStore) Fill(v uint64) {
 
 func (s *faultyStore) Snapshot() []uint64 { return s.inner.Snapshot() }
 
+func (s *faultyStore) SnapshotInto(dst []uint64) []uint64 { return s.inner.SnapshotInto(dst) }
+
 var _ edgedata.Store = (*faultyStore)(nil)

@@ -14,6 +14,11 @@ type Frontier struct {
 	// members caches the ascending-order member list of cur, rebuilt at
 	// each Advance, so per-iteration dispatch does not rescan the bitset.
 	members []int
+	// stale marks the member cache out of date. Seeding mutators
+	// (ScheduleNow, ScheduleNowAll, LoadCurrent) only set the flag and the
+	// cache is rebuilt lazily on first read, so seeding k sources costs
+	// O(k) + one O(n) rebuild instead of k rebuilds.
+	stale bool
 }
 
 // NewFrontier returns a Frontier over a universe of n vertices with both
@@ -29,7 +34,7 @@ func (f *Frontier) Len() int { return f.cur.Len() }
 // state: S_0 = V).
 func (f *Frontier) ScheduleAll() {
 	f.cur.SetAll()
-	f.rebuild()
+	f.stale = true
 }
 
 // ScheduleNow places v in the *current* set. Intended for initialization
@@ -37,7 +42,17 @@ func (f *Frontier) ScheduleAll() {
 // iteration.
 func (f *Frontier) ScheduleNow(v int) {
 	f.cur.Set(v)
-	f.rebuild()
+	f.stale = true
+}
+
+// ScheduleNowAll places every given vertex in the *current* set — the
+// batched multi-source seeding entry point. Like ScheduleNow it is for
+// initialization only, not safe concurrently with iteration.
+func (f *Frontier) ScheduleNowAll(vs []int) {
+	for _, v := range vs {
+		f.cur.Set(v)
+	}
+	f.stale = true
 }
 
 // Schedule posts v into the next iteration's set. Safe for concurrent use.
@@ -55,10 +70,16 @@ func (f *Frontier) PendingNext(v int) bool { return f.next.TestAtomic(v) }
 
 // Members returns the current set in ascending label order. The returned
 // slice is owned by the Frontier and is invalidated by Advance.
-func (f *Frontier) Members() []int { return f.members }
+func (f *Frontier) Members() []int {
+	f.refresh()
+	return f.members
+}
 
 // Size returns the cardinality of the current set.
-func (f *Frontier) Size() int { return len(f.members) }
+func (f *Frontier) Size() int {
+	f.refresh()
+	return len(f.members)
+}
 
 // NextSize returns the cardinality of the set accumulated for the next
 // iteration so far. Only meaningful at a barrier (when no Schedule calls
@@ -74,7 +95,7 @@ func (f *Frontier) LoadCurrent(members []int) {
 	for _, v := range members {
 		f.cur.Set(v)
 	}
-	f.rebuild()
+	f.stale = true
 }
 
 // Advance swaps buffers: the accumulated next set becomes current and the
@@ -87,6 +108,14 @@ func (f *Frontier) Advance() int {
 	return len(f.members)
 }
 
+// refresh rebuilds the member cache if a seeding mutator left it stale.
+func (f *Frontier) refresh() {
+	if f.stale {
+		f.rebuild()
+	}
+}
+
 func (f *Frontier) rebuild() {
 	f.members = f.cur.AppendMembers(f.members[:0])
+	f.stale = false
 }

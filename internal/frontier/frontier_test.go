@@ -3,6 +3,7 @@ package frontier
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestFrontierInitialEmpty(t *testing.T) {
@@ -126,5 +127,82 @@ func TestMembersAscendingAfterConcurrentSchedule(t *testing.T) {
 		if m[i-1] >= m[i] {
 			t.Fatalf("members not strictly ascending at %d: %v...", i, m[i-1:i+1])
 		}
+	}
+}
+
+func TestScheduleNowAllMatchesIndividualSeeding(t *testing.T) {
+	seeds := []int{0, 7, 7, 3, 63, 64, 99}
+	a := NewFrontier(100)
+	a.ScheduleNowAll(seeds)
+	b := NewFrontier(100)
+	for _, v := range seeds {
+		b.ScheduleNow(v)
+	}
+	am, bm := a.Members(), b.Members()
+	if len(am) != len(bm) {
+		t.Fatalf("batched seeding yields %v, individual %v", am, bm)
+	}
+	for i := range am {
+		if am[i] != bm[i] {
+			t.Fatalf("batched seeding yields %v, individual %v", am, bm)
+		}
+	}
+	if a.Size() != 6 { // 7 appears twice
+		t.Fatalf("Size = %d, want 6", a.Size())
+	}
+}
+
+func TestSeedingDefersRebuildUntilFirstRead(t *testing.T) {
+	f := NewFrontier(64)
+	f.ScheduleNow(3)
+	if got := f.Members(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Members after ScheduleNow = %v", got)
+	}
+	// A mutation after a read must invalidate the cached members again.
+	f.ScheduleNow(10)
+	if got := f.Members(); len(got) != 2 || got[1] != 10 {
+		t.Fatalf("Members after second ScheduleNow = %v", got)
+	}
+	f.LoadCurrent([]int{5})
+	if got := f.Members(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Members after LoadCurrent = %v", got)
+	}
+	f.ScheduleAll()
+	if f.Size() != 64 {
+		t.Fatalf("Size after ScheduleAll = %d, want 64", f.Size())
+	}
+}
+
+// Seeding k sources must cost O(k) plus one deferred rebuild, not k O(n)
+// rebuilds. With n = 1<<18 and k = 1<<17 the old eager behavior performed
+// ~2^35 word scans — tens of seconds — so a generous wall-clock bound cleanly
+// separates the regression without flaking on slow machines.
+func TestSeedingManySourcesIsFast(t *testing.T) {
+	const n, k = 1 << 18, 1 << 17
+	f := NewFrontier(n)
+	start := time.Now()
+	for v := 0; v < k; v++ {
+		f.ScheduleNow(v * 2)
+	}
+	if f.Size() != k {
+		t.Fatalf("Size = %d, want %d", f.Size(), k)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("seeding %d sources took %v — per-call rebuild regression", k, elapsed)
+	}
+}
+
+func TestSeedingDoesNotAllocatePerCall(t *testing.T) {
+	f := NewFrontier(1 << 12)
+	f.ScheduleAll()
+	_ = f.Members() // warm the member cache to full capacity
+	f.LoadCurrent(nil)
+	batch := []int{1, 2, 3}
+	if avg := testing.AllocsPerRun(100, func() {
+		f.ScheduleNow(9)
+		f.ScheduleNowAll(batch)
+		_ = f.Members()
+	}); avg != 0 {
+		t.Errorf("seed+read cycle allocates %.1f per run, want 0", avg)
 	}
 }

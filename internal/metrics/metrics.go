@@ -200,8 +200,9 @@ func SpearmanFootrule(a, b []uint32) float64 {
 	if n < 2 {
 		return 0
 	}
-	// Maximal footrule for n elements is ⌊n²/2⌋.
-	max := float64(n*n) / 2
+	// Maximal footrule for n elements is ⌊n²/2⌋ — the integer floor, so an
+	// odd-length full reversal normalizes to exactly 1.0.
+	max := float64((n * n) / 2)
 	return float64(sum) / max
 }
 

@@ -243,23 +243,53 @@ func BenchmarkDifferenceDegree(b *testing.B) {
 }
 
 func TestSpearmanFootrule(t *testing.T) {
-	a := []uint32{1, 2, 3, 4}
-	if SpearmanFootrule(a, a) != 0 {
-		t.Fatal("identical orderings should have footrule 0")
+	cases := []struct {
+		name string
+		a, b []uint32
+		want float64
+	}{
+		{"identical", []uint32{0, 1, 2, 3}, []uint32{0, 1, 2, 3}, 0},
+		// Full reversal is the maximal displacement, so it must normalize to
+		// exactly 1.0 — for odd n too, where the correct denominator is the
+		// integer ⌊n²/2⌋ (n=3: sum |i-j| = 2+0+2 = 4 = ⌊9/2⌋), not n²/2 = 4.5.
+		{"even reversal", []uint32{0, 1, 2, 3}, []uint32{3, 2, 1, 0}, 1},
+		{"odd reversal", []uint32{0, 1, 2}, []uint32{2, 1, 0}, 1},
+		{"odd reversal n=5", []uint32{0, 1, 2, 3, 4}, []uint32{4, 3, 2, 1, 0}, 1},
+		// Adjacent swap of n=4: displacement 1+1 over ⌊16/2⌋ = 8.
+		{"adjacent swap", []uint32{0, 1, 2, 3}, []uint32{1, 0, 2, 3}, 0.25},
+		// Elements absent from either ordering are ignored; the shared set
+		// {1, 2} is reversed, n=2, sum 2 over ⌊4/2⌋ = 2.
+		{"partial overlap", []uint32{1, 2, 9}, []uint32{2, 1, 7}, 1},
+		{"degenerate single", []uint32{5}, []uint32{5}, 0},
+		{"degenerate empty", nil, nil, 0},
+		{"disjoint", []uint32{1, 2, 3, 4}, []uint32{9, 8}, 0},
 	}
-	rev := []uint32{4, 3, 2, 1}
-	if got := SpearmanFootrule(a, rev); got != 1 {
-		t.Fatalf("reversed footrule = %v, want 1", got)
+	for _, tc := range cases {
+		if got := SpearmanFootrule(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: SpearmanFootrule = %v, want %v", tc.name, got, tc.want)
+		}
 	}
-	// Adjacent swap at the tail: displacement 2 of max 8.
-	tail := []uint32{1, 2, 4, 3}
-	if got := SpearmanFootrule(a, tail); got != 0.25 {
-		t.Fatalf("tail swap footrule = %v, want 0.25", got)
+}
+
+func TestSpearmanFootruleNeverExceedsOne(t *testing.T) {
+	// Every permutation of n=5 must land in [0, 1] — the old float n²/2
+	// denominator kept reversals strictly below 1 for odd n.
+	perm := []uint32{0, 1, 2, 3, 4}
+	base := []uint32{0, 1, 2, 3, 4}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(perm) {
+			got := SpearmanFootrule(base, perm)
+			if got < 0 || got > 1 {
+				t.Fatalf("SpearmanFootrule(%v) = %v, outside [0, 1]", perm, got)
+			}
+			return
+		}
+		for i := k; i < len(perm); i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
 	}
-	if SpearmanFootrule([]uint32{1}, []uint32{1}) != 0 {
-		t.Fatal("singleton footrule")
-	}
-	if SpearmanFootrule(a, []uint32{9, 8}) != 0 {
-		t.Fatal("disjoint orderings should give 0 (no shared elements)")
-	}
+	rec(0)
 }

@@ -83,6 +83,9 @@ type Engine struct {
 
 	front    *frontier.Frontier
 	maxIters int
+
+	// pool holds the persistent push workers, reused across iterations.
+	pool *sched.Pool
 }
 
 // NewEngine builds a push engine. threads < 1 defaults to GOMAXPROCS;
@@ -104,11 +107,22 @@ func NewEngine(g *graph.Graph, mode Mode, threads int) (*Engine, error) {
 		Vertices: make([]uint64, g.N()),
 		front:    frontier.NewFrontier(g.N()),
 		maxIters: core.DefaultMaxIters,
+		pool:     sched.NewPool(threads),
 	}, nil
 }
 
 // Frontier exposes the scheduled set for seeding.
 func (e *Engine) Frontier() *frontier.Frontier { return e.front }
+
+// Close releases the engine's persistent worker pool. The engine stays
+// usable — the next Run re-creates the pool — but Close makes the release
+// deterministic instead of waiting for the pool's finalizer.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
+}
 
 // Run pushes to quiescence: each iteration relaxes every out-edge of every
 // scheduled vertex; destinations that improve are scheduled for the next
@@ -119,25 +133,31 @@ func (e *Engine) Run(r Relax) (Result, error) {
 	}
 	var pushes, wins atomic.Int64
 	res := Result{Converged: true}
+	if e.pool == nil { // re-create after Close
+		e.pool = sched.NewPool(e.p)
+	}
+	// One relax closure for the whole run, so the per-iteration dispatch
+	// through the pool performs no allocation.
+	relax := func(_ int, vi int) {
+		v := uint32(vi)
+		srcVal := e.load(v)
+		lo, _ := e.g.OutEdgeIndex(v)
+		for k, u := range e.g.OutNeighbors(v) {
+			cand := r.Message(srcVal, lo+uint32(k))
+			pushes.Add(1)
+			if e.combine(u, cand, r.Better) {
+				wins.Add(1)
+				e.front.Schedule(int(u))
+			}
+		}
+	}
 	start := time.Now()
 	for e.front.Size() > 0 {
 		if res.Iterations >= e.maxIters {
 			res.Converged = false
 			break
 		}
-		sched.ParallelBlocks(e.front.Members(), e.p, func(_ int, vi int) {
-			v := uint32(vi)
-			srcVal := e.load(v)
-			lo, _ := e.g.OutEdgeIndex(v)
-			for k, u := range e.g.OutNeighbors(v) {
-				cand := r.Message(srcVal, lo+uint32(k))
-				pushes.Add(1)
-				if e.combine(u, cand, r.Better) {
-					wins.Add(1)
-					e.front.Schedule(int(u))
-				}
-			}
-		})
+		e.pool.RunBlocks(e.front.Members(), relax)
 		res.Iterations++
 		e.front.Advance()
 	}

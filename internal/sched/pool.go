@@ -1,0 +1,234 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent worker pool for iteration dispatch. The one-shot
+// dispatchers (ParallelBlocks, ParallelChunks) spawn P goroutines per call,
+// which under the barrier-per-iteration engine means a spawn/join cycle per
+// iteration — and per *color class* under Chromatic/DIG. A Pool keeps P
+// long-lived workers parked on per-worker wake channels and re-dispatches
+// them for every call, so the steady-state per-iteration cost is two
+// channel operations per worker and zero heap allocations.
+//
+// A Pool is NOT safe for concurrent dispatch: exactly one goroutine may
+// call RunBlocks/RunChunks/RunEach at a time (the engine's barrier loop
+// satisfies this by construction). Close releases the workers; a Pool that
+// is never closed is released by a finalizer when it becomes unreachable,
+// so abandoned engines do not leak goroutines permanently.
+type Pool struct{ *pool }
+
+// taskKind selects what parked workers execute on the next wake.
+type taskKind int
+
+const (
+	taskNone taskKind = iota
+	// taskBlocks is the Fig. 1 static dispatch: worker w runs
+	// Block(items, w, eff) in slice order.
+	taskBlocks
+	// taskChunks is the dynamic dispatch: workers claim chunks from the
+	// shared cursor until the items are exhausted.
+	taskChunks
+	// taskEach runs eachFn once per worker — the generic entry point for
+	// executors that host their own work loops on pooled workers.
+	taskEach
+)
+
+// pool is the worker-visible state. Workers reference only this inner
+// struct, so the outer Pool handle stays collectable while they park —
+// which is what lets the finalizer release an abandoned pool.
+type pool struct {
+	workers int
+	wake    []chan struct{} // per-worker wake tokens (nil when workers == 1)
+	quit    chan struct{}
+	done    sync.WaitGroup
+
+	// Dispatch parameters. Written by the dispatching goroutine before the
+	// wake sends and read by workers after the receives; the channel
+	// operations order the accesses, so no further synchronization is
+	// needed.
+	task   taskKind
+	items  []int
+	itemFn func(worker, item int)
+	eachFn func(worker int)
+	eff    int // effective worker count for taskBlocks (≤ workers)
+	chunk  int
+	cursor atomic.Int64
+
+	// panicked records the first recovered task panic of a dispatch; the
+	// barrier re-raises it on the dispatching goroutine so a panicking
+	// update cannot wedge or kill a parked worker.
+	panicked atomic.Pointer[taskPanic]
+	closed   atomic.Bool
+}
+
+// taskPanic captures a recovered worker panic for re-raising at the barrier.
+type taskPanic struct {
+	value any
+	stack []byte
+}
+
+// NewPool starts a pool of the given number of workers. workers < 1 is
+// treated as 1; a one-worker pool spawns no goroutines and runs every
+// dispatch inline on the caller.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	in := &pool{workers: workers, quit: make(chan struct{})}
+	if workers > 1 {
+		in.wake = make([]chan struct{}, workers)
+		for w := range in.wake {
+			in.wake[w] = make(chan struct{}, 1)
+			go in.loop(w)
+		}
+	}
+	out := &Pool{in}
+	runtime.SetFinalizer(out, func(p *Pool) { p.pool.close() })
+	return out
+}
+
+// Workers returns the pool's worker count P.
+func (p *Pool) Workers() int { return p.pool.workers }
+
+// Close releases the parked workers. Close is idempotent and must not be
+// called concurrently with a dispatch; a closed pool must not be
+// dispatched again.
+func (p *Pool) Close() {
+	p.pool.close()
+	runtime.SetFinalizer(p, nil)
+}
+
+func (in *pool) close() {
+	if in.closed.CompareAndSwap(false, true) {
+		close(in.quit)
+	}
+}
+
+// RunBlocks dispatches items over the pooled workers with the paper's
+// Fig. 1 contiguous-block assignment and blocks until all workers finish
+// (the iteration barrier). Worker and block assignment are identical to
+// ParallelBlocks, so per-worker execution order — and with it the trace
+// path of any deterministic schedule — is preserved exactly; only the
+// goroutine spawn/join per call is gone.
+func (p *Pool) RunBlocks(items []int, fn func(worker, item int)) {
+	in := p.pool
+	if len(in.wake) == 0 || len(items) <= 1 {
+		for _, it := range items {
+			fn(0, it)
+		}
+		return
+	}
+	eff := in.workers
+	if eff > len(items) {
+		eff = len(items)
+	}
+	in.task, in.items, in.itemFn, in.eff = taskBlocks, items, fn, eff
+	in.dispatch()
+	in.items, in.itemFn = nil, nil
+}
+
+// RunChunks dispatches items over the pooled workers with the dynamic
+// chunk-claiming policy of ParallelChunks and blocks until the items are
+// exhausted. chunk <= 0 selects DefaultChunk.
+func (p *Pool) RunChunks(items []int, chunk int, fn func(worker, item int)) {
+	in := p.pool
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	if len(in.wake) == 0 || len(items) <= chunk {
+		for _, it := range items {
+			fn(0, it)
+		}
+		return
+	}
+	in.task, in.items, in.itemFn, in.chunk = taskChunks, items, fn, chunk
+	in.cursor.Store(0)
+	in.dispatch()
+	in.items, in.itemFn = nil, nil
+}
+
+// RunEach invokes fn once per worker (worker ids 0..P-1) concurrently and
+// blocks until every invocation returns. Barrier-free executors use it to
+// host their drain loops on pooled workers instead of spawning fresh
+// goroutines per run.
+func (p *Pool) RunEach(fn func(worker int)) {
+	in := p.pool
+	if len(in.wake) == 0 {
+		fn(0)
+		return
+	}
+	in.task, in.eachFn = taskEach, fn
+	in.dispatch()
+	in.eachFn = nil
+}
+
+// dispatch wakes every worker, waits for the barrier, and re-raises the
+// first recovered worker panic on the caller.
+func (in *pool) dispatch() {
+	if in.closed.Load() {
+		panic("sched: dispatch on closed Pool")
+	}
+	in.done.Add(len(in.wake))
+	for _, c := range in.wake {
+		c <- struct{}{}
+	}
+	in.done.Wait()
+	in.task = taskNone
+	if p := in.panicked.Swap(nil); p != nil {
+		panic(fmt.Sprintf("sched: pool task panicked: %v\n%s", p.value, p.stack))
+	}
+}
+
+// loop is worker w's park/wake cycle.
+func (in *pool) loop(w int) {
+	for {
+		select {
+		case <-in.wake[w]:
+		case <-in.quit:
+			return
+		}
+		in.run(w)
+		in.done.Done()
+	}
+}
+
+// run executes worker w's share of the current task, converting a panic
+// into a recorded failure so the worker survives to park again.
+func (in *pool) run(w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			in.panicked.CompareAndSwap(nil, &taskPanic{value: r, stack: debug.Stack()})
+		}
+	}()
+	switch in.task {
+	case taskBlocks:
+		if w < in.eff {
+			for _, it := range Block(in.items, w, in.eff) {
+				in.itemFn(w, it)
+			}
+		}
+	case taskChunks:
+		n := len(in.items)
+		for {
+			lo := int(in.cursor.Add(int64(in.chunk))) - in.chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + in.chunk
+			if hi > n {
+				hi = n
+			}
+			for _, it := range in.items[lo:hi] {
+				in.itemFn(w, it)
+			}
+		}
+	case taskEach:
+		in.eachFn(w)
+	}
+}

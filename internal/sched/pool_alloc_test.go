@@ -1,0 +1,32 @@
+//go:build !race
+
+package sched
+
+import "testing"
+
+// The race detector instruments channel operations with allocating
+// bookkeeping, so the zero-allocation guarantees only hold — and are only
+// asserted — in non-race builds.
+
+// A warm pool dispatch must not allocate: the wake tokens, the WaitGroup
+// barrier, and the parameter handoff all reuse pool-owned state. This is the
+// property that makes the engine's steady-state iteration allocation-free.
+func TestPoolDispatchDoesNotAllocate(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	items := make([]int, 1024)
+	for i := range items {
+		items[i] = i
+	}
+	var sinks [4]int64
+	fn := func(w, item int) { sinks[w] += int64(item) }
+	pool.RunBlocks(items, fn) // warm up: park the workers once
+	pool.RunChunks(items, 64, fn)
+
+	if avg := testing.AllocsPerRun(100, func() { pool.RunBlocks(items, fn) }); avg != 0 {
+		t.Errorf("RunBlocks allocates %.1f per dispatch, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { pool.RunChunks(items, 64, fn) }); avg != 0 {
+		t.Errorf("RunChunks allocates %.1f per dispatch, want 0", avg)
+	}
+}

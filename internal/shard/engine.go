@@ -60,6 +60,14 @@ type Engine struct {
 
 	// panicked records the first recovered UpdateFunc panic of the run.
 	panicked atomic.Pointer[updatePanic]
+
+	// pool holds the persistent intra-interval workers, reused across all
+	// intervals and iterations of every Run on this engine.
+	pool *sched.Pool
+
+	// flushBuf is the reusable write-back snapshot buffer; flush refills it
+	// per interval instead of allocating a fresh O(window) slice each time.
+	flushBuf []uint64
 }
 
 // updatePanic captures a recovered UpdateFunc panic.
@@ -83,11 +91,21 @@ func NewEngine(st *Storage, opts Options) (*Engine, error) {
 	if opts.MaxIters <= 0 {
 		opts.MaxIters = core.DefaultMaxIters
 	}
-	return &Engine{st: st, opts: opts, front: frontier.NewFrontier(st.N())}, nil
+	return &Engine{st: st, opts: opts, front: frontier.NewFrontier(st.N()), pool: sched.NewPool(opts.Threads)}, nil
 }
 
 // Frontier exposes the scheduled set for seeding.
 func (e *Engine) Frontier() *frontier.Frontier { return e.front }
+
+// Close releases the engine's persistent worker pool. The engine stays
+// usable — the next Run re-creates the pool — but Close makes the release
+// deterministic instead of waiting for the pool's finalizer.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
+}
 
 // Run executes update to convergence. One iteration is one pass over all
 // intervals; within the pass, interval i's subgraph (shard i in full plus
@@ -101,6 +119,9 @@ func (e *Engine) Run(update core.UpdateFunc) (Result, error) {
 		return Result{}, fmt.Errorf("shard: nil update function")
 	}
 	e.panicked.Store(nil)
+	if e.pool == nil { // re-create after Close
+		e.pool = sched.NewPool(e.opts.Threads)
+	}
 	if inj := e.opts.Inject; inj != nil {
 		// Heal rule: window slots map back to endpoints through the
 		// currently loaded interval's working set.
@@ -185,7 +206,7 @@ func (e *Engine) Run(update core.UpdateFunc) (Result, error) {
 				view.bind(uint32(v))
 				update(view)
 			}
-			sched.ParallelBlocks(scheduled, e.opts.Threads, run)
+			e.pool.RunBlocks(scheduled, run)
 			e.curSub.Store(nil)
 			if p := e.panicked.Load(); p != nil {
 				res.Converged = false
@@ -332,7 +353,8 @@ func (e *Engine) load(i int) (*subgraph, error) {
 // flush writes the working set's values back to their shards.
 func (e *Engine) flush(sub *subgraph) (int64, error) {
 	var written int64
-	snap := sub.store.Snapshot()
+	e.flushBuf = sub.store.SnapshotInto(e.flushBuf)
+	snap := e.flushBuf
 	for _, r := range sub.ranges {
 		if err := e.st.writeValues(r.shard, r.off, r.count, snap[r.slotBase:int64(r.slotBase)+r.count]); err != nil {
 			return written, err

@@ -116,6 +116,14 @@ const (
 	DIG = sched.DIG
 )
 
+// Intra-iteration dispatch policies for Options.Dispatch.
+const (
+	// Static is the paper's Fig. 1 contiguous-label-block assignment.
+	Static = sched.Static
+	// Dynamic is chunked work stealing from a shared cursor.
+	Dynamic = sched.Dynamic
+)
+
 // EdgeMode selects the edge-data atomicity method.
 type EdgeMode = edgedata.Mode
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Benchmark pipeline: run the hot-path and dispatch benchmark families with
+# -benchmem and emit a machine-readable BENCH_*.json (schema ndgraph-bench/v1,
+# see cmd/benchjson). Usage:
+#
+#   scripts/bench.sh [out.json]          # default out: BENCH_PR2.json
+#   BENCHTIME=1s scripts/bench.sh        # longer runs for a checked-in baseline
+#   BENCH='HotPathIteration' scripts/bench.sh smoke.json
+#
+# The CI smoke (scripts/ci.sh) runs this with BENCHTIME=1x: one iteration per
+# benchmark, just enough to prove the pipeline produces valid JSON.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR2.json}"
+bench="${BENCH:-HotPathIteration|PoolBlocks|PoolChunks|ParallelBlocks|ParallelChunks|ConvergenceSpeed|AblationDispatch}"
+benchtime="${BENCHTIME:-1x}"
+
+go test -run '^$' -bench "$bench" -benchtime "$benchtime" -benchmem \
+    . ./internal/sched/ |
+    go run ./cmd/benchjson -out "$out"
+go run ./cmd/benchjson -validate "$out"
+echo "bench: wrote and validated $out"

@@ -24,4 +24,11 @@ go test ./...
 echo "== go test -race (concurrency-heavy packages, short) =="
 go test -race -short ./internal/core/ ./internal/async/ ./internal/dist/ ./internal/fault/ ./internal/shard/
 
+echo "== bench smoke (1x, JSON pipeline) =="
+# One iteration per benchmark family through scripts/bench.sh; the pipeline
+# validates its own JSON output, so a broken parser or benchmark fails CI.
+smoke=$(mktemp -t bench_smoke.XXXXXX.json)
+trap 'rm -f "$smoke"' EXIT
+BENCHTIME=1x BENCH='HotPathIteration|PoolBlocks|PoolChunks' scripts/bench.sh "$smoke"
+
 echo "CI OK"

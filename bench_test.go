@@ -11,6 +11,7 @@ package ndgraph_test
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"ndgraph/internal/algorithms"
@@ -21,6 +22,7 @@ import (
 	"ndgraph/internal/experiments"
 	"ndgraph/internal/gen"
 	"ndgraph/internal/graph"
+	"ndgraph/internal/obs"
 	"ndgraph/internal/sched"
 	"ndgraph/internal/shard"
 )
@@ -316,6 +318,15 @@ func BenchmarkHotPathIteration(b *testing.B) {
 	if raceEnabled {
 		mode = edgedata.ModeAtomic
 	}
+	// The observed variants run the full enabled telemetry path (per-
+	// iteration Emit through a JSONL sink into io.Discard, barrier timing
+	// on); the issue's budget allows them <5% updates/s regression against
+	// their unobserved twins.
+	newObserved := func() *obs.Observer {
+		o := obs.New(obs.Options{})
+		o.AttachSink(obs.NewJSONLSink(io.Discard))
+		return o
+	}
 	cases := []struct {
 		name string
 		opts core.Options
@@ -324,6 +335,8 @@ func BenchmarkHotPathIteration(b *testing.B) {
 		{"nondet-static/P4", core.Options{Scheduler: sched.Nondeterministic, Dispatch: sched.Static, Threads: 4, Mode: mode}},
 		{"nondet-dynamic/P4", core.Options{Scheduler: sched.Nondeterministic, Dispatch: sched.Dynamic, Threads: 4, Mode: mode}},
 		{"sync/P4", core.Options{Scheduler: sched.Synchronous, Threads: 4, Mode: mode}},
+		{"det-observed", core.Options{Scheduler: sched.Deterministic, Observer: newObserved()}},
+		{"nondet-static-observed/P4", core.Options{Scheduler: sched.Nondeterministic, Dispatch: sched.Static, Threads: 4, Mode: mode, Observer: newObserved()}},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {

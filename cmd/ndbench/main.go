@@ -28,6 +28,7 @@ import (
 	"text/tabwriter"
 
 	"ndgraph/internal/experiments"
+	"ndgraph/internal/obs"
 )
 
 type expList []string
@@ -59,6 +60,8 @@ func run(args []string, out io.Writer) error {
 	runs := fs.Int("runs", 5, "independent runs per variance configuration")
 	epsFlag := fs.String("eps", "1e-1,1e-2,1e-3", "comma-separated PageRank ε values")
 	noAligned := fs.Bool("no-aligned", false, "skip the arch-support (benign-race) mode")
+	telemetry := fs.String("telemetry", "", "write per-iteration telemetry as JSON lines to this file")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve live /metrics, /events, and /debug/pprof on this address (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -80,6 +83,26 @@ func run(args []string, out io.Writer) error {
 		Threads:  threads,
 		Runs:     *runs,
 		Epsilons: eps,
+	}
+	if *telemetry != "" || *telemetryAddr != "" {
+		cfg.Observer = obs.New(obs.Options{})
+		if *telemetry != "" {
+			f, err := os.Create(*telemetry)
+			if err != nil {
+				return err
+			}
+			cfg.Observer.AttachSink(obs.NewJSONLSink(f))
+		}
+		if *telemetryAddr != "" {
+			srv, err := obs.Serve(*telemetryAddr, cfg.Observer)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(out, "telemetry: serving /metrics and /debug/pprof on %s\n", srv.Addr())
+		}
+		cfg.Observer.PublishExpvar("ndbench")
+		defer cfg.Observer.Close()
 	}
 
 	want := map[string]bool{}

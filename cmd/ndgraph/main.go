@@ -27,6 +27,7 @@ import (
 	"ndgraph/internal/graph"
 	"ndgraph/internal/loader"
 	"ndgraph/internal/metrics"
+	"ndgraph/internal/obs"
 	"ndgraph/internal/sched"
 	"ndgraph/internal/trace"
 )
@@ -56,6 +57,8 @@ func run(args []string, out io.Writer) error {
 	census := fs.Bool("census", false, "count observed conflicts during the run")
 	dispatch := fs.String("dispatch", "static", "intra-iteration dispatch: static (Fig. 1 blocks) or dynamic (chunked)")
 	tracePath := fs.String("trace", "", "write the execution path as CSV to this file")
+	telemetry := fs.String("telemetry", "", "write per-iteration telemetry as JSON lines to this file")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve live /metrics, /events, and /debug/pprof on this address (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -109,6 +112,27 @@ func run(args []string, out io.Writer) error {
 	if *tracePath != "" {
 		rec = trace.NewRecorder(1 << 22)
 	}
+	var observer *obs.Observer
+	if *telemetry != "" || *telemetryAddr != "" {
+		observer = obs.New(obs.Options{SampleConflicts: *census})
+		if *telemetry != "" {
+			f, err := os.Create(*telemetry)
+			if err != nil {
+				return err
+			}
+			observer.AttachSink(obs.NewJSONLSink(f))
+		}
+		if *telemetryAddr != "" {
+			srv, err := obs.Serve(*telemetryAddr, observer)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Fprintf(out, "telemetry: serving /metrics and /debug/pprof on %s\n", srv.Addr())
+		}
+		observer.PublishExpvar("ndgraph")
+		defer observer.Close()
+	}
 	eng, res, err := algorithms.Run(a, g, core.Options{
 		Scheduler:    kind,
 		Threads:      *threads,
@@ -117,6 +141,7 @@ func run(args []string, out io.Writer) error {
 		EnableCensus: *census,
 		Dispatch:     disp,
 		Trace:        rec,
+		Observer:     observer,
 	})
 	if err != nil {
 		return err

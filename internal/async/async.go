@@ -31,8 +31,14 @@ import (
 	"ndgraph/internal/fault"
 	"ndgraph/internal/frontier"
 	"ndgraph/internal/graph"
+	"ndgraph/internal/obs"
 	"ndgraph/internal/sched"
 )
+
+// sampleWindow is the per-worker update count between telemetry samples.
+// Barrier-free executors have no iteration boundary to hang an event on, so
+// each worker emits one event per window of updates it executes.
+const sampleWindow = 4096
 
 // Options configures an Executor.
 type Options struct {
@@ -52,6 +58,9 @@ type Options struct {
 	// Inject, when non-nil, arms the fault injector for the duration of
 	// the run (see package fault); faulted edges re-enqueue both endpoints.
 	Inject *fault.Injector
+	// Observer, when non-nil, receives one telemetry event per worker per
+	// sampleWindow updates plus a final aggregate at quiescence.
+	Observer *obs.Observer
 }
 
 // Result summarizes a barrier-free run.
@@ -77,6 +86,7 @@ type Executor struct {
 	inFlite atomic.Int64
 	updates atomic.Int64
 	stopped atomic.Bool
+	samples atomic.Int64 // telemetry sample sequence
 	seeds   []int
 
 	// pool hosts the drain loops: repeated Runs reuse the same parked
@@ -118,7 +128,7 @@ func NewExecutor(g *graph.Graph, opts Options) (*Executor, error) {
 		Vertices: make([]uint64, g.N()),
 		pending:  frontier.NewBitset(g.N()),
 		active:   frontier.NewBitset(g.N()),
-		pool:     sched.NewPool(opts.Threads),
+		pool:     sched.NewPoolNamed(opts.Threads, "async"),
 		views:    make([]view, opts.Threads),
 	}
 	for i := range x.views {
@@ -201,7 +211,7 @@ func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
 		defer inj.Disarm()
 	}
 	if x.pool == nil { // re-create after Close
-		x.pool = sched.NewPool(x.opts.Threads)
+		x.pool = sched.NewPoolNamed(x.opts.Threads, "async")
 	}
 	// Queue capacity: every vertex can be pending at most once, plus one
 	// slot per worker for re-enqueues racing the pending-bit clear.
@@ -247,6 +257,11 @@ func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
 				x.stopped.Store(true)
 			default:
 				x.runOne(vw, update, uint32(v))
+				if o := x.opts.Observer; o != nil {
+					if vw.nUpdates++; vw.nUpdates >= sampleWindow {
+						x.emitSample(o, vw, 0)
+					}
+				}
 			}
 			x.active.ClearAtomic(v)
 			if x.inFlite.Add(-1) == 0 {
@@ -262,6 +277,20 @@ func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
 		}
 	}
 	res.Duration = time.Since(start)
+	if o := x.opts.Observer; o != nil {
+		// Final aggregate: fold every worker's leftover window into one
+		// quiescence event. The workers are parked, so their view counters
+		// are safe to read and reset here.
+		agg := &x.views[0]
+		for i := 1; i < len(x.views); i++ {
+			vw := &x.views[i]
+			agg.nUpdates += vw.nUpdates
+			agg.nReads += vw.nReads
+			agg.nWrites += vw.nWrites
+			vw.nUpdates, vw.nReads, vw.nWrites = 0, 0, 0
+		}
+		x.emitSample(o, agg, res.Duration.Nanoseconds())
+	}
 	if p := x.panicked.Load(); p != nil {
 		return res, fmt.Errorf("async: update function panicked on vertex %d: %v\n%s", p.vertex, p.value, p.stack)
 	}
@@ -284,6 +313,27 @@ func (x *Executor) runOne(view *view, update core.UpdateFunc, v uint32) {
 	update(view)
 }
 
+// emitSample emits one telemetry sample from worker-view vw's accumulated
+// window and resets it. The pending-task count doubles as the scheduled-set
+// gauge and the convergence residual — it trends to zero at quiescence.
+// Only vw's owning worker (or the post-drain flush) may call this.
+func (x *Executor) emitSample(o *obs.Observer, vw *view, durationNs int64) {
+	inflight := x.inFlite.Load()
+	o.Emit(obs.Event{
+		Engine:        obs.EngineAsync,
+		Iter:          x.samples.Add(1) - 1,
+		Scheduled:     inflight,
+		Updates:       vw.nUpdates,
+		EdgeReads:     vw.nReads,
+		EdgeWrites:    vw.nWrites,
+		RWConflicts:   -1,
+		WWConflicts:   -1,
+		Residual:      float64(inflight) / float64(x.g.N()),
+		DurationNanos: durationNs,
+	})
+	vw.nUpdates, vw.nReads, vw.nWrites = 0, 0, 0
+}
+
 // view adapts the executor to core.VertexView. Unlike the barrier-based
 // Ctx there is no "next iteration": writes schedule the opposite endpoint
 // onto the live queue immediately.
@@ -294,6 +344,10 @@ type view struct {
 	inIdx  []uint32
 	outDst []uint32
 	outLo  uint32
+
+	// nUpdates/nReads/nWrites accumulate this worker's telemetry window;
+	// worker-private, drained by emitSample.
+	nUpdates, nReads, nWrites int64
 }
 
 func (c *view) bind(v uint32) {
@@ -314,19 +368,27 @@ func (c *view) InNeighbor(k int) uint32 { return c.inSrc[k] }
 func (c *view) OutNeighbor(k int) uint32 {
 	return c.outDst[k]
 }
-func (c *view) InEdgeID(k int) uint32   { return c.inIdx[k] }
-func (c *view) OutEdgeID(k int) uint32  { return c.outLo + uint32(k) }
-func (c *view) InEdgeVal(k int) uint64  { return c.x.Edges.Load(c.inIdx[k]) }
-func (c *view) OutEdgeVal(k int) uint64 { return c.x.Edges.Load(c.outLo + uint32(k)) }
-func (c *view) ScheduleSelf()           { c.x.schedule(int(c.v)) }
-func (c *view) Yield()                  {}
+func (c *view) InEdgeID(k int) uint32  { return c.inIdx[k] }
+func (c *view) OutEdgeID(k int) uint32 { return c.outLo + uint32(k) }
+func (c *view) InEdgeVal(k int) uint64 {
+	c.nReads++
+	return c.x.Edges.Load(c.inIdx[k])
+}
+func (c *view) OutEdgeVal(k int) uint64 {
+	c.nReads++
+	return c.x.Edges.Load(c.outLo + uint32(k))
+}
+func (c *view) ScheduleSelf() { c.x.schedule(int(c.v)) }
+func (c *view) Yield()        {}
 
 func (c *view) SetInEdgeVal(k int, w uint64) {
+	c.nWrites++
 	c.x.Edges.Store(c.inIdx[k], w)
 	c.x.schedule(int(c.inSrc[k]))
 }
 
 func (c *view) SetOutEdgeVal(k int, w uint64) {
+	c.nWrites++
 	c.x.Edges.Store(c.outLo+uint32(k), w)
 	c.x.schedule(int(c.outDst[k]))
 }

@@ -30,7 +30,12 @@ import (
 	"ndgraph/internal/core"
 	"ndgraph/internal/edgedata"
 	"ndgraph/internal/graph"
+	"ndgraph/internal/obs"
 )
+
+// sampleWindow is the update count between telemetry samples; the executor
+// is sequential, so a plain counter in the drain loop suffices.
+const sampleWindow = 4096
 
 // UpdateFunc is an autonomous update: it receives the vertex view plus a
 // scheduler handle for posting prioritized work.
@@ -124,6 +129,11 @@ type Engine struct {
 
 	sched      *Scheduler
 	maxUpdates int64
+
+	// observer, when non-nil, receives one event per sampleWindow updates
+	// plus a final one at quiescence; set with Observe before Run.
+	observer *obs.Observer
+	samples  int64
 }
 
 // NewEngine builds an autonomous executor for g. maxUpdates caps the run
@@ -151,6 +161,28 @@ func (e *Engine) Graph() *graph.Graph { return e.g }
 // Post seeds the scheduler before Run.
 func (e *Engine) Post(v uint32, priority float64) { e.sched.Post(v, priority) }
 
+// Observe attaches an observer; nil detaches. Call before Run.
+func (e *Engine) Observe(o *obs.Observer) { e.observer = o }
+
+// emitSample emits one telemetry window and resets the view's counters.
+func (e *Engine) emitSample(view *autoView, updates, durationNs int64) {
+	queued := int64(e.sched.Len())
+	e.observer.Emit(obs.Event{
+		Engine:        obs.EngineAutonomous,
+		Iter:          e.samples,
+		Scheduled:     queued,
+		Updates:       updates,
+		EdgeReads:     view.nReads,
+		EdgeWrites:    view.nWrites,
+		RWConflicts:   -1,
+		WWConflicts:   -1,
+		Residual:      float64(queued) / float64(e.g.N()),
+		DurationNanos: durationNs,
+	})
+	e.samples++
+	view.nReads, view.nWrites = 0, 0
+}
+
 // Run drains the priority queue to quiescence.
 func (e *Engine) Run(update UpdateFunc) (Result, error) {
 	if update == nil {
@@ -159,6 +191,7 @@ func (e *Engine) Run(update UpdateFunc) (Result, error) {
 	res := Result{Converged: true}
 	start := time.Now()
 	view := &autoView{e: e}
+	window := int64(0)
 	for e.sched.Len() > 0 {
 		if res.Updates >= e.maxUpdates {
 			res.Converged = false
@@ -168,8 +201,17 @@ func (e *Engine) Run(update UpdateFunc) (Result, error) {
 		view.bind(v)
 		update(view, e.sched)
 		res.Updates++
+		if e.observer != nil {
+			if window++; window >= sampleWindow {
+				e.emitSample(view, window, 0)
+				window = 0
+			}
+		}
 	}
 	res.Duration = time.Since(start)
+	if e.observer != nil {
+		e.emitSample(view, window, res.Duration.Nanoseconds())
+	}
 	return res, nil
 }
 
@@ -184,6 +226,9 @@ type autoView struct {
 	inIdx  []uint32
 	outDst []uint32
 	outLo  uint32
+
+	// nReads/nWrites accumulate the telemetry window's edge accesses.
+	nReads, nWrites int64
 }
 
 func (c *autoView) bind(v uint32) {
@@ -195,20 +240,32 @@ func (c *autoView) bind(v uint32) {
 	c.outLo, _ = g.OutEdgeIndex(v)
 }
 
-func (c *autoView) V() uint32                     { return c.v }
-func (c *autoView) Vertex() uint64                { return c.e.Vertices[c.v] }
-func (c *autoView) SetVertex(w uint64)            { c.e.Vertices[c.v] = w }
-func (c *autoView) InDegree() int                 { return len(c.inSrc) }
-func (c *autoView) OutDegree() int                { return len(c.outDst) }
-func (c *autoView) InNeighbor(k int) uint32       { return c.inSrc[k] }
-func (c *autoView) OutNeighbor(k int) uint32      { return c.outDst[k] }
-func (c *autoView) InEdgeID(k int) uint32         { return c.inIdx[k] }
-func (c *autoView) OutEdgeID(k int) uint32        { return c.outLo + uint32(k) }
-func (c *autoView) InEdgeVal(k int) uint64        { return c.e.Edges.Load(c.inIdx[k]) }
-func (c *autoView) OutEdgeVal(k int) uint64       { return c.e.Edges.Load(c.outLo + uint32(k)) }
-func (c *autoView) SetInEdgeVal(k int, w uint64)  { c.e.Edges.Store(c.inIdx[k], w) }
-func (c *autoView) SetOutEdgeVal(k int, w uint64) { c.e.Edges.Store(c.outLo+uint32(k), w) }
-func (c *autoView) ScheduleSelf()                 {}
-func (c *autoView) Yield()                        {}
+func (c *autoView) V() uint32                { return c.v }
+func (c *autoView) Vertex() uint64           { return c.e.Vertices[c.v] }
+func (c *autoView) SetVertex(w uint64)       { c.e.Vertices[c.v] = w }
+func (c *autoView) InDegree() int            { return len(c.inSrc) }
+func (c *autoView) OutDegree() int           { return len(c.outDst) }
+func (c *autoView) InNeighbor(k int) uint32  { return c.inSrc[k] }
+func (c *autoView) OutNeighbor(k int) uint32 { return c.outDst[k] }
+func (c *autoView) InEdgeID(k int) uint32    { return c.inIdx[k] }
+func (c *autoView) OutEdgeID(k int) uint32   { return c.outLo + uint32(k) }
+func (c *autoView) InEdgeVal(k int) uint64 {
+	c.nReads++
+	return c.e.Edges.Load(c.inIdx[k])
+}
+func (c *autoView) OutEdgeVal(k int) uint64 {
+	c.nReads++
+	return c.e.Edges.Load(c.outLo + uint32(k))
+}
+func (c *autoView) SetInEdgeVal(k int, w uint64) {
+	c.nWrites++
+	c.e.Edges.Store(c.inIdx[k], w)
+}
+func (c *autoView) SetOutEdgeVal(k int, w uint64) {
+	c.nWrites++
+	c.e.Edges.Store(c.outLo+uint32(k), w)
+}
+func (c *autoView) ScheduleSelf() {}
+func (c *autoView) Yield()        {}
 
 var _ core.VertexView = (*autoView)(nil)

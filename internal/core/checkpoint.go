@@ -118,6 +118,13 @@ func (e *Engine) RestoreCheckpoint(path string) (int, error) {
 		if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
 			return 0, fmt.Errorf("core: checkpoint frontier: %w", err)
 		}
+		// Bounds-check each member: LoadCurrent sets frontier bits without
+		// validation, so an out-of-range ID — reachable via a file whose
+		// CRC is valid over corrupt contents — would panic the bitset
+		// instead of returning an error.
+		if int(v) >= e.g.N() {
+			return 0, fmt.Errorf("core: checkpoint frontier member %d exceeds %d vertices", v, e.g.N())
+		}
 		members[i] = int(v)
 	}
 	// Hash any unparsed remainder so the CRC covers the full body, then

@@ -30,6 +30,7 @@ import (
 	"ndgraph/internal/fault"
 	"ndgraph/internal/frontier"
 	"ndgraph/internal/graph"
+	"ndgraph/internal/obs"
 	"ndgraph/internal/sched"
 	"ndgraph/internal/trace"
 )
@@ -125,6 +126,12 @@ type Options struct {
 	// with parallel schedulers the callback must be safe for concurrent
 	// use and old values are sampled racily.
 	OnEdgeWrite func(edge uint32, old, new uint64)
+	// Observer, when non-nil, streams one telemetry event per iteration
+	// (scheduled-set size, updates, edge accesses, conflict rates when
+	// sampling is on, barrier-wait imbalance, residual) into the
+	// observability layer. nil — the default — costs one pointer test per
+	// barrier; Observer.SampleConflicts implies EnableCensus.
+	Observer *obs.Observer
 }
 
 // IterStat records one iteration's activity.
@@ -255,7 +262,7 @@ func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
 		// disarmed (transparent) until Run, so Setup is never perturbed.
 		e.Edges = opts.Inject.Wrap(e.Edges)
 	}
-	if opts.PotentialCensus {
+	if opts.PotentialCensus || opts.Observer.SampleConflicts() {
 		e.opts.EnableCensus = true
 	}
 	if e.opts.EnableCensus {
@@ -393,6 +400,9 @@ func (e *Engine) Run(update UpdateFunc) (Result, error) {
 		if e.opts.RecordIters {
 			res.PerIter = append(res.PerIter, stat)
 		}
+		if o := e.opts.Observer; o != nil {
+			e.emitIter(o, res.Iterations, stat)
+		}
 		res.Iterations++
 		e.front.Advance()
 	}
@@ -402,7 +412,8 @@ func (e *Engine) Run(update UpdateFunc) (Result, error) {
 
 func (e *Engine) ensureWorkers() {
 	if e.pool == nil {
-		e.pool = sched.NewPool(e.opts.Threads)
+		e.pool = sched.NewPoolNamed(e.opts.Threads, "core")
+		e.pool.SetTimed(e.opts.Observer.Enabled())
 	}
 	if e.runFn == nil {
 		e.runFn = e.runOne
@@ -431,6 +442,37 @@ func (e *Engine) Close() {
 		e.pool.Close()
 		e.pool = nil
 	}
+}
+
+// emitIter assembles and emits one iteration's telemetry event. It runs at
+// the barrier, after dispatch and the census tally, so the per-worker
+// access counters and pool timing accumulators are quiescent.
+func (e *Engine) emitIter(o *obs.Observer, iter int, stat IterStat) {
+	var reads, writes int64
+	for i := range e.workers {
+		c := &e.workers[i]
+		reads += c.sumReads
+		writes += c.sumWrites
+		c.sumReads, c.sumWrites = 0, 0
+	}
+	rw, ww := int64(-1), int64(-1)
+	if e.census != nil {
+		rw, ww = int64(stat.RW), int64(stat.WW)
+	}
+	wall, wait := e.pool.TakeBarrierStats()
+	o.Emit(obs.Event{
+		Engine:           obs.EngineCore,
+		Iter:             int64(iter),
+		Scheduled:        int64(stat.Scheduled),
+		Updates:          int64(stat.Scheduled),
+		EdgeReads:        reads,
+		EdgeWrites:       writes,
+		RWConflicts:      rw,
+		WWConflicts:      ww,
+		Residual:         float64(stat.Scheduled) / float64(e.g.N()),
+		BarrierWaitNanos: int64(wait),
+		DurationNanos:    int64(wall),
+	})
 }
 
 // runOne executes the current run's update function on vertex v as worker

@@ -3,10 +3,12 @@
 package core
 
 import (
+	"io"
 	"testing"
 
 	"ndgraph/internal/edgedata"
 	"ndgraph/internal/gen"
+	"ndgraph/internal/obs"
 	"ndgraph/internal/sched"
 )
 
@@ -20,6 +22,14 @@ import (
 func selfSchedulingUpdate(ctx VertexView) {
 	ctx.SetVertex(ctx.Vertex())
 	ctx.ScheduleSelf()
+}
+
+// newDiscardObserver builds an observer with a JSONL sink writing to
+// io.Discard — the full enabled telemetry path, minus the file.
+func newDiscardObserver() *obs.Observer {
+	o := obs.New(obs.Options{})
+	o.AttachSink(obs.NewJSONLSink(io.Discard))
+	return o
 }
 
 // runAllocs measures the average heap allocations of one Run capped at
@@ -51,6 +61,12 @@ func TestRunSteadyStateIterationsDoNotAllocate(t *testing.T) {
 		{"nondet-dynamic", Options{Scheduler: sched.Nondeterministic, Dispatch: sched.Dynamic, Threads: 4, Mode: edgedata.ModeAligned}},
 		{"synchronous", Options{Scheduler: sched.Synchronous, Threads: 4, Mode: edgedata.ModeAligned}},
 		{"deterministic", Options{Scheduler: sched.Deterministic}},
+		// The observability layer must preserve the guarantee both ways:
+		// observer attached (Emit + JSONL sink are allocation-free) and, by
+		// the cases above, absent (one nil test per barrier).
+		{"nondet-observed", Options{Scheduler: sched.Nondeterministic, Dispatch: sched.Static, Threads: 4, Mode: edgedata.ModeAligned,
+			Observer: newDiscardObserver()}},
+		{"deterministic-observed", Options{Scheduler: sched.Deterministic, Observer: newDiscardObserver()}},
 	}
 	g, err := gen.RMAT(400, 2400, gen.DefaultRMAT, 17)
 	if err != nil {

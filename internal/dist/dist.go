@@ -39,8 +39,14 @@ import (
 	"time"
 
 	"ndgraph/internal/graph"
+	"ndgraph/internal/obs"
 	"ndgraph/internal/rng"
 )
+
+// sampleWindow is the per-worker delivery count between telemetry samples:
+// each simulated machine emits one event per window of messages it
+// processes, plus one final aggregate at quiescence.
+const sampleWindow = 8192
 
 // Propagation declares a monotone message-passing computation.
 type Propagation struct {
@@ -75,6 +81,10 @@ type Options struct {
 	// inboxes drain, and Run returns partial values plus the context's
 	// error.
 	Context context.Context
+	// Observer, when non-nil, receives one telemetry event per worker per
+	// sampleWindow deliveries plus a final aggregate carrying the run's
+	// duplicate and retransmission totals.
+	Observer *obs.Observer
 }
 
 // Result reports a distributed run.
@@ -188,6 +198,33 @@ func Run(g *graph.Graph, p Propagation, opts Options) ([]uint64, Result, error) 
 	var stopped atomic.Bool
 	start := time.Now()
 
+	// Per-worker telemetry windows (worker w owns tallies[w]; the final
+	// aggregate reads them after the WaitGroup barrier).
+	var samples atomic.Int64
+	type tally struct {
+		delivered, adopted int64
+		_                  [48]byte // pad to a cache line against false sharing
+	}
+	var tallies []tally
+	if opts.Observer != nil {
+		tallies = make([]tally, W)
+	}
+	emitSample := func(t *tally, durationNs int64) {
+		pending := inflight.Load()
+		opts.Observer.Emit(obs.Event{
+			Engine:        obs.EngineDist,
+			Iter:          samples.Add(1) - 1,
+			Scheduled:     pending,
+			Updates:       t.adopted,
+			Residual:      float64(pending) / float64(n),
+			RWConflicts:   -1,
+			WWConflicts:   -1,
+			DurationNanos: durationNs,
+			Messages:      t.delivered,
+		})
+		t.delivered, t.adopted = 0, 0
+	}
+
 	// send routes a message (possibly duplicated) to its owner's inbox.
 	// The caller must hold its own rng for the duplication draw.
 	send := func(m message, r *rng.Xoshiro256StarStar) {
@@ -262,11 +299,22 @@ func Run(g *graph.Graph, p Propagation, opts Options) ([]uint64, Result, error) 
 				case delivered.Add(1) > opts.MaxMessages:
 					stopped.Store(true)
 				default:
-					if p.Better(m.val, values[m.to]) {
+					adopted := p.Better(m.val, values[m.to])
+					if adopted {
 						// Only the owner worker touches values[m.to], so the
 						// adopt is race-free.
 						values[m.to] = m.val
 						broadcast(m.to, m.val, r)
+					}
+					if tallies != nil {
+						t := &tallies[w]
+						t.delivered++
+						if adopted {
+							t.adopted++
+						}
+						if t.delivered >= sampleWindow {
+							emitSample(t, 0)
+						}
 					}
 				}
 				if inflight.Add(-1) == 0 {
@@ -280,6 +328,27 @@ func Run(g *graph.Graph, p Propagation, opts Options) ([]uint64, Result, error) 
 	res.Messages = delivered.Load()
 	res.Duplicates = dups.Load()
 	res.Drops = drops.Load()
+	if o := opts.Observer; o != nil {
+		// Final aggregate: leftover windows from every worker plus the
+		// run-total duplicate/retransmission counts (sampled nowhere else,
+		// so the counters stay exact).
+		var agg tally
+		for w := range tallies {
+			agg.delivered += tallies[w].delivered
+			agg.adopted += tallies[w].adopted
+		}
+		o.Emit(obs.Event{
+			Engine:        obs.EngineDist,
+			Iter:          samples.Add(1) - 1,
+			Updates:       agg.adopted,
+			RWConflicts:   -1,
+			WWConflicts:   -1,
+			DurationNanos: time.Since(start).Nanoseconds(),
+			Messages:      agg.delivered,
+			Duplicates:    res.Duplicates,
+			Drops:         res.Drops,
+		})
+	}
 	if stopped.Load() {
 		res.Converged = false
 		if res.Messages > opts.MaxMessages {

@@ -15,6 +15,7 @@ import (
 	"ndgraph/internal/edgedata"
 	"ndgraph/internal/gen"
 	"ndgraph/internal/graph"
+	"ndgraph/internal/obs"
 	"ndgraph/internal/sched"
 )
 
@@ -36,6 +37,9 @@ type Config struct {
 	Epsilons []float64
 	// PageRankEps is the threshold used in Fig. 3 timing runs.
 	PageRankEps float64
+	// Observer, when non-nil, streams telemetry from the Fig. 3 timing
+	// grid's engine runs (ndbench -telemetry / -telemetry-addr).
+	Observer *obs.Observer
 }
 
 // DefaultConfig returns the defaults used by the CLI and benches.
@@ -227,6 +231,7 @@ func Fig3(cfg Config, includeAligned bool) ([]Fig3Cell, error) {
 						Scheduler: kind.Scheduler,
 						Threads:   p,
 						Mode:      kind.Mode,
+						Observer:  cfg.Observer,
 					})
 					if err != nil {
 						return nil, err

@@ -1,0 +1,167 @@
+package loader
+
+import (
+	"bytes"
+	"testing"
+
+	"ndgraph/internal/graph"
+)
+
+// Native fuzz targets for every parser that consumes external bytes. The
+// contract under test: arbitrary input must produce either a graph or an
+// error — never a panic, and never an allocation proportional to a forged
+// header field rather than to the input itself. Seed corpora live in
+// testdata/fuzz/<Target>/; ci.sh gives each target a short -fuzz smoke on
+// top of the checked-in seeds.
+
+// lowerMaxVertices shrinks the loader's vertex-ID ceiling for the duration
+// of a fuzz run, so hostile-but-admissible IDs stay cheap to reject or
+// build instead of legitimately allocating hundreds of megabytes of CSR.
+func lowerMaxVertices(f *testing.F) {
+	old := MaxVertices
+	MaxVertices = 1 << 16
+	f.Cleanup(func() { MaxVertices = old })
+}
+
+func FuzzLoadEdgeList(f *testing.F) {
+	lowerMaxVertices(f)
+	f.Add([]byte("# three-cycle\n0 1\n1 2\n2 0\n"))
+	f.Add([]byte("0\t1\n\n% also a comment\n1 0 ignored-extra-field\n"))
+	f.Add([]byte("0 4294967295\n")) // over MaxVertices: must error, not allocate
+	f.Add([]byte("a b\n"))
+	f.Add([]byte("7\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadEdgeList(bytes.NewReader(data), graph.Options{})
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		// Round-trip: anything accepted must serialize and reload to the
+		// same shape.
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write-back: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf, graph.Options{NumVertices: g.N()})
+		if err != nil {
+			t.Fatalf("reload of own output: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round-trip changed shape: %d/%d → %d/%d", g.N(), g.M(), g2.N(), g2.M())
+		}
+	})
+}
+
+func FuzzLoadMatrixMarket(f *testing.F) {
+	lowerMaxVertices(f)
+	f.Add([]byte("%%MatrixMarket matrix coordinate real general\n% cage-style\n3 3 2\n1 2 1.5\n2 3 -0.5\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern symmetric\n4 4 3\n2 1\n3 1\n4 2\n"))
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern general\n2 2 -1\n"))     // negative nnz
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern general\n2 2 1\n9 9\n")) // entry outside dims
+	f.Add([]byte("%%MatrixMarket matrix array real general\n2 2\n"))                // unsupported layout
+	f.Add([]byte("%%MatrixMarket matrix coordinate pattern general\n1000000000 2 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadMatrixMarket(bytes.NewReader(data), graph.Options{})
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		if g.N() > 2*MaxVertices {
+			t.Fatalf("accepted graph has %d vertices despite MaxVertices %d", g.N(), MaxVertices)
+		}
+	})
+}
+
+// FuzzReadBinary covers the checksummed binary format: a valid file must
+// round-trip, and any corruption — header, body, or CRC trailer — must be
+// rejected with an error proportional in cost to the input length.
+func FuzzReadBinary(f *testing.F) {
+	lowerMaxVertices(f)
+	// A well-formed v2 file as the structural seed, plus its corruptions.
+	g, err := graph.Build([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}}, graph.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0xff // corrupt the CRC trailer
+	f.Add(flipped)
+	f.Add(valid[:len(valid)-6]) // truncated mid-trailer
+	f.Add([]byte("NDGRnot-a-binary-graph"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rt, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := rt.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, rt); err != nil {
+			t.Fatalf("write-back: %v", err)
+		}
+		rt2, err := ReadBinary(&out)
+		if err != nil {
+			t.Fatalf("reload of own output: %v", err)
+		}
+		if rt2.N() != rt.N() || rt2.M() != rt.M() {
+			t.Fatalf("round-trip changed shape: %d/%d → %d/%d", rt.N(), rt.M(), rt2.N(), rt2.M())
+		}
+	})
+}
+
+// TestReadBinaryCorruptCRCErrors pins the corrupted-checksum contract the
+// fuzz target relies on: every single-byte corruption of a valid file's
+// trailer must be detected.
+func TestReadBinaryCorruptCRCErrors(t *testing.T) {
+	g, err := graph.Build([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 0}}, graph.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("pristine file: %v", err)
+	}
+	for i := range valid {
+		corrupt := append([]byte(nil), valid...)
+		corrupt[i] ^= 0x01
+		if _, err := ReadBinary(bytes.NewReader(corrupt)); err == nil {
+			t.Fatalf("flipping byte %d of %d went undetected", i, len(valid))
+		}
+	}
+}
+
+// TestReadBinaryForgedCountsDoNotPreallocate documents the OOM hardening:
+// a header claiming 2^32-1 edges (or vertices beyond MaxVertices) must
+// fail from the bytes actually present, not allocate first.
+func TestReadBinaryForgedCountsDoNotPreallocate(t *testing.T) {
+	le := func(xs ...uint32) []byte {
+		out := make([]byte, 0, 4*len(xs))
+		for _, x := range xs {
+			out = append(out, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+		}
+		return out
+	}
+	// magic, version 1 (no CRC needed), n=2, m=0xFFFFFFFF, then nothing.
+	forgedM := le(0x4e444752, 1, 2, 0xFFFFFFFF)
+	if _, err := ReadBinary(bytes.NewReader(forgedM)); err == nil {
+		t.Fatal("forged edge count loaded successfully")
+	}
+	forgedN := le(0x4e444752, 1, 0xFFFFFFFF, 0)
+	if _, err := ReadBinary(bytes.NewReader(forgedN)); err == nil {
+		t.Fatal("forged vertex count loaded successfully")
+	}
+}

@@ -20,9 +20,25 @@ import (
 	"ndgraph/internal/graph"
 )
 
+// MaxVertices caps the vertex-set size any loader will construct. A single
+// hostile line ("0 4294967295") or a lying binary header would otherwise
+// make graph.Build allocate tens of gigabytes of CSR offsets before any
+// real data is validated. The default admits every dataset in the paper
+// (soc-LiveJournal1, the largest, has ~4.8M vertices) with ample headroom;
+// tests and fuzz targets lower it to keep adversarial inputs cheap.
+var MaxVertices = 1 << 27
+
+// maxEdgePrealloc bounds how many edge records a loader reserves on the
+// strength of an unverified header count alone. Real edges past the
+// reservation just grow the slice as the bytes actually arrive, so honest
+// files pay at most a few reallocations while a forged count of 2^32-1
+// edges allocates nothing it cannot back with input.
+const maxEdgePrealloc = 1 << 20
+
 // ReadEdgeList parses a SNAP-style edge list: one "src dst" pair per line,
 // '#' or '%' lines are comments, blank lines ignored. Vertex IDs must be
-// non-negative integers; the vertex count is 1 + the maximum ID seen.
+// non-negative integers below MaxVertices; the vertex count is 1 + the
+// maximum ID seen.
 func ReadEdgeList(r io.Reader, opt graph.Options) (*graph.Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
@@ -58,6 +74,9 @@ func parseVertex(s string) (uint32, error) {
 	v, err := strconv.ParseUint(s, 10, 32)
 	if err != nil {
 		return 0, fmt.Errorf("bad vertex id %q: %v", s, err)
+	}
+	if v >= uint64(MaxVertices) {
+		return 0, fmt.Errorf("vertex id %d exceeds MaxVertices (%d)", v, MaxVertices)
 	}
 	return uint32(v), nil
 }
@@ -106,8 +125,11 @@ func ReadMatrixMarket(r io.Reader, opt graph.Options) (*graph.Graph, error) {
 		}
 		break
 	}
-	if rows <= 0 || cols <= 0 {
-		return nil, fmt.Errorf("loader: MatrixMarket size %dx%d invalid", rows, cols)
+	if rows <= 0 || cols <= 0 || nnz < 0 {
+		return nil, fmt.Errorf("loader: MatrixMarket size %dx%d nnz %d invalid", rows, cols, nnz)
+	}
+	if rows > MaxVertices || cols > MaxVertices {
+		return nil, fmt.Errorf("loader: MatrixMarket size %dx%d exceeds MaxVertices (%d)", rows, cols, MaxVertices)
 	}
 	n := rows
 	if cols > n {
@@ -116,7 +138,13 @@ func ReadMatrixMarket(r io.Reader, opt graph.Options) (*graph.Graph, error) {
 	if opt.NumVertices == 0 {
 		opt.NumVertices = n
 	}
-	edges := make([]graph.Edge, 0, nnz)
+	// Trust the declared nnz only up to maxEdgePrealloc; a forged count
+	// must not reserve memory the entries below cannot justify.
+	prealloc := nnz
+	if prealloc > maxEdgePrealloc {
+		prealloc = maxEdgePrealloc
+	}
+	edges := make([]graph.Edge, 0, prealloc)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
@@ -130,6 +158,11 @@ func ReadMatrixMarket(r io.Reader, opt graph.Options) (*graph.Graph, error) {
 		j, err2 := strconv.Atoi(fields[1])
 		if err1 != nil || err2 != nil || i < 1 || j < 1 {
 			return nil, fmt.Errorf("loader: bad MatrixMarket entry %q", line)
+		}
+		// Entries outside the declared dimensions would truncate through
+		// uint32 below and could land on a silently wrong edge.
+		if i > rows || j > cols {
+			return nil, fmt.Errorf("loader: MatrixMarket entry (%d, %d) outside declared %dx%d", i, j, rows, cols)
 		}
 		edges = append(edges, graph.Edge{Src: uint32(i - 1), Dst: uint32(j - 1)})
 		if symmetric && i != j {
@@ -195,13 +228,31 @@ func ReadBinary(r io.Reader) (*graph.Graph, error) {
 		return nil, fmt.Errorf("loader: unsupported binary version %d", hdr[1])
 	}
 	n, m := int(hdr[2]), int(hdr[3])
-	edges := make([]graph.Edge, m)
-	for i := range edges {
+	if n > MaxVertices {
+		return nil, fmt.Errorf("loader: binary header claims %d vertices, exceeds MaxVertices (%d)", n, MaxVertices)
+	}
+	// The header's m is unverified until the checksum at the end, so
+	// reserve at most maxEdgePrealloc records up front and let real input
+	// grow the slice past that; a forged count fails at EOF instead of
+	// allocating gigabytes first.
+	prealloc := m
+	if prealloc > maxEdgePrealloc {
+		prealloc = maxEdgePrealloc
+	}
+	edges := make([]graph.Edge, 0, prealloc)
+	for i := 0; i < m; i++ {
 		var pair [2]uint32
 		if err := binary.Read(tr, binary.LittleEndian, &pair); err != nil {
 			return nil, fmt.Errorf("loader: binary edge %d: %v (file truncated?)", i, err)
 		}
-		edges[i] = graph.Edge{Src: pair[0], Dst: pair[1]}
+		// Endpoints must respect the header's vertex count: WriteBinary
+		// never emits anything else, and an out-of-range endpoint with
+		// n == 0 would otherwise make graph.Build size the graph off the
+		// bogus endpoint.
+		if int(pair[0]) >= n || int(pair[1]) >= n {
+			return nil, fmt.Errorf("loader: binary edge %d (%d → %d) outside %d vertices", i, pair[0], pair[1], n)
+		}
+		edges = append(edges, graph.Edge{Src: pair[0], Dst: pair[1]})
 	}
 	if hdr[1] >= 2 {
 		want := h.Sum32()

@@ -30,16 +30,28 @@ func writeBinFile(t *testing.T, dir string) (string, []byte) {
 }
 
 func TestBinaryCorruptionDetected(t *testing.T) {
+	// Flip a byte inside the edge region (past the 16-byte header): caught
+	// by the endpoint bounds check when the flipped bits leave the vertex
+	// range, by the checksum otherwise — either way it must not load.
 	path, data := writeBinFile(t, t.TempDir())
-	// Flip a byte inside the edge region (past the 16-byte header), so the
-	// failure is attributable to the checksum, not header parsing.
 	data[16+len(data)/2%16] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, graph.Options{}); err == nil {
+		t.Fatal("corrupted binary accepted")
+	}
+
+	// Flip the CRC trailer itself: the body parses cleanly, so only the
+	// checksum can reject this one.
+	path, data = writeBinFile(t, t.TempDir())
+	data[len(data)-1] ^= 0x40
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	_, err := LoadFile(path, graph.Options{})
 	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
-		t.Fatalf("corrupted binary: got %v, want checksum mismatch", err)
+		t.Fatalf("corrupted trailer: got %v, want checksum mismatch", err)
 	}
 }
 

@@ -1,0 +1,41 @@
+//go:build !race
+
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// The race detector's instrumentation allocates, so the steady-state
+// zero-allocation property is asserted only in non-race builds (mirroring
+// internal/core's hot-path tests).
+
+// Emit must be allocation-free in steady state — events are passed by
+// value, counters live in a fixed array, the ring stores by copy, and the
+// JSONL encoder reuses its buffer — so attaching an observer cannot break
+// the engines' zero-alloc iteration guarantee.
+func TestEmitSteadyStateDoesNotAllocate(t *testing.T) {
+	o := New(Options{RingSize: 8})
+	o.AttachSink(NewJSONLSink(io.Discard))
+	ev := Event{TimeUnixNano: 1, Engine: EngineCore, Iter: 1, Scheduled: 100, Updates: 100, EdgeReads: 500, EdgeWrites: 50, RWConflicts: 3, WWConflicts: 1, Residual: 0.125, BarrierWaitNanos: 10, DurationNanos: 100}
+	for i := 0; i < 16; i++ { // warm: fill the ring, grow the JSONL buffer
+		o.Emit(ev)
+	}
+	if avg := testing.AllocsPerRun(200, func() { o.Emit(ev) }); avg > 0 {
+		t.Errorf("Emit allocates %.2f per call in steady state, want 0", avg)
+	}
+}
+
+// A zero TimeUnixNano makes Emit stamp the wall clock; that path must stay
+// allocation-free too, since every engine emits unstamped events.
+func TestEmitTimestampPathDoesNotAllocate(t *testing.T) {
+	o := New(Options{RingSize: 8})
+	ev := Event{Engine: EngineAsync, Updates: 1}
+	for i := 0; i < 16; i++ {
+		o.Emit(ev)
+	}
+	if avg := testing.AllocsPerRun(200, func() { o.Emit(ev) }); avg > 0 {
+		t.Errorf("Emit (time-stamping path) allocates %.2f per call, want 0", avg)
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// WriteMetrics renders the accumulated per-engine counters in the
+// Prometheus text exposition format. Every engine kind is rendered even at
+// zero, so one scrape always shows the full executor inventory.
+func (o *Observer) WriteMetrics(w io.Writer) {
+	if o == nil {
+		return
+	}
+	stats := o.Stats()
+	writeHeader := func(name, help, typ string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	counter := func(name, help string, get func(EngineStats) int64) {
+		writeHeader(name, help, "counter")
+		for _, s := range stats {
+			fmt.Fprintf(w, "%s{engine=%q} %d\n", name, s.Engine, get(s))
+		}
+	}
+	gauge := func(name, help string, get func(EngineStats) string) {
+		writeHeader(name, help, "gauge")
+		for _, s := range stats {
+			fmt.Fprintf(w, "%s{engine=%q} %s\n", name, s.Engine, get(s))
+		}
+	}
+	counter("ndgraph_samples_total", "Telemetry events emitted.",
+		func(s EngineStats) int64 { return s.Samples })
+	counter("ndgraph_iterations_total", "Iterations (or sample windows) completed.",
+		func(s EngineStats) int64 { return s.Iterations })
+	counter("ndgraph_updates_total", "Vertex update functions executed.",
+		func(s EngineStats) int64 { return s.Updates })
+	counter("ndgraph_edge_reads_total", "Edge-data words read.",
+		func(s EngineStats) int64 { return s.EdgeReads })
+	counter("ndgraph_edge_writes_total", "Edge-data words written.",
+		func(s EngineStats) int64 { return s.EdgeWrites })
+	counter("ndgraph_rw_conflicts_total", "Census-classified read-write conflict edges.",
+		func(s EngineStats) int64 { return s.RWConflicts })
+	counter("ndgraph_ww_conflicts_total", "Census-classified write-write conflict edges.",
+		func(s EngineStats) int64 { return s.WWConflicts })
+	counter("ndgraph_barrier_wait_nanoseconds_total", "Summed per-worker barrier-wait (load imbalance).",
+		func(s EngineStats) int64 { return s.BarrierWait })
+	counter("ndgraph_busy_nanoseconds_total", "Wall time spent inside sampled iterations.",
+		func(s EngineStats) int64 { return s.Duration })
+	counter("ndgraph_messages_total", "Distributed messages delivered (including duplicates).",
+		func(s EngineStats) int64 { return s.Messages })
+	counter("ndgraph_duplicate_messages_total", "Distributed duplicate deliveries injected.",
+		func(s EngineStats) int64 { return s.Duplicates })
+	counter("ndgraph_dropped_messages_total", "Distributed deliveries lost and retransmitted.",
+		func(s EngineStats) int64 { return s.Drops })
+	gauge("ndgraph_scheduled_last", "Scheduled-set size of the most recent sample.",
+		func(s EngineStats) string { return strconv.FormatInt(s.Scheduled, 10) })
+	gauge("ndgraph_residual_last", "Convergence residual (active fraction) of the most recent sample.",
+		func(s EngineStats) string { return strconv.FormatFloat(s.Residual, 'g', 6, 64) })
+}
+
+// Handler returns the observability endpoint: /metrics (Prometheus text),
+// /events (the ring buffer as JSON), /debug/vars (expvar), and
+// /debug/pprof (the standard profiling suite). Workers of labeled pools
+// carry pprof goroutine labels, so /debug/pprof/profile attributes CPU
+// time to engines. Safe on nil (a handler that serves 503).
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	if o == nil {
+		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "observability disabled", http.StatusServiceUnavailable)
+		})
+		return mux
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.WriteMetrics(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		type jsonEvent struct {
+			Engine string `json:"engine"`
+			Event
+		}
+		evs := o.Events()
+		out := make([]jsonEvent, len(evs))
+		for i, ev := range evs {
+			out[i] = jsonEvent{Engine: ev.Engine.String(), Event: ev}
+		}
+		_ = enc.Encode(out)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts the observability endpoint on addr (e.g. ":6060", or ":0"
+// to pick a free port) in a background goroutine and returns immediately.
+func Serve(addr string, o *Observer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: o.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}

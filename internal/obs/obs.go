@@ -1,0 +1,341 @@
+// Package obs is the engine observability layer: a zero-overhead-when-
+// disabled telemetry spine wired into every executor in the repository
+// (core, async, shard, dist, push, autonomous).
+//
+// The paper's claims are all statements about *run-to-run behavior under
+// nondeterminism* — conflict classes (Section III), convergence
+// trajectories (Section II), result variance (Section V-C) — yet without a
+// telemetry layer those signals are only visible post-hoc through ndbench
+// tables. This package turns every run into an experiment: engines emit
+// one Event per iteration (or per sample window, for the barrier-free
+// executors) carrying the scheduled-set size, updates executed, edge
+// read/write counts, sampled read-write/write-write conflict rates from
+// the edgedata census, an active-fraction convergence residual, and the
+// per-worker barrier-wait imbalance measured by sched.Pool.
+//
+// Design constraints, in priority order:
+//
+//  1. Disabled means free. Engines hold a *Observer that is nil by
+//     default; the only cost on the hot path is one pointer test per
+//     iteration barrier. The PR 2 zero-allocation guarantee is asserted
+//     by tests with the observer both absent and attached.
+//  2. Enabled means cheap. Emit performs no heap allocation in steady
+//     state: events are passed by value, land in a fixed-size ring
+//     buffer, and update a fixed array of per-engine atomic counters.
+//     Sinks (JSONL, expvar, the /metrics endpoint) render from those two
+//     structures; the JSONL encoder appends into a reusable buffer.
+//  3. Stdlib only. The /metrics endpoint speaks the Prometheus text
+//     exposition format from net/http, and /debug/pprof is wired from
+//     net/http/pprof — no external dependencies.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EngineKind identifies which executor emitted an event. The kinds are a
+// closed enum so the observer can keep per-engine counters in a fixed
+// array instead of an allocating map.
+type EngineKind uint8
+
+const (
+	// EngineCore is the barrier-based coordinated-scheduling engine.
+	EngineCore EngineKind = iota
+	// EngineAsync is the pure asynchronous (barrier-free) executor.
+	EngineAsync
+	// EngineShard is the out-of-core parallel-sliding-windows engine.
+	EngineShard
+	// EngineDist is the simulated distributed message-passing executor.
+	EngineDist
+	// EnginePush is the push-mode (Ligra-style) engine.
+	EnginePush
+	// EngineAutonomous is the priority-driven executor.
+	EngineAutonomous
+
+	numEngines
+)
+
+var engineNames = [numEngines]string{"core", "async", "shard", "dist", "push", "autonomous"}
+
+// String names the engine kind as used in metric labels and JSONL.
+func (k EngineKind) String() string {
+	if int(k) < len(engineNames) {
+		return engineNames[k]
+	}
+	return "unknown"
+}
+
+// EngineKinds lists every engine kind, in label order.
+func EngineKinds() []EngineKind {
+	out := make([]EngineKind, numEngines)
+	for i := range out {
+		out[i] = EngineKind(i)
+	}
+	return out
+}
+
+// Event is one telemetry sample. Barrier-based engines emit one per
+// iteration; barrier-free executors (async, dist, autonomous) emit one per
+// sample window plus a final one at quiescence. All counter fields are
+// deltas for the sample, not cumulative totals — the observer accumulates.
+//
+// Events are passed and stored by value so the emit path performs no heap
+// allocation.
+type Event struct {
+	// TimeUnixNano is the emit timestamp; Emit stamps it when zero.
+	TimeUnixNano int64
+	// Engine identifies the emitting executor.
+	Engine EngineKind
+	// Iter is the iteration (core/shard/push) or sample index (async,
+	// dist, autonomous) of the sample.
+	Iter int64
+	// Scheduled is the scheduled-set size driving the sample: |S_n| for
+	// barrier engines, the pending-queue depth for async/autonomous, the
+	// in-flight message count for dist.
+	Scheduled int64
+	// Updates is the number of update functions executed in the sample.
+	Updates int64
+	// EdgeReads and EdgeWrites count edge-data accesses in the sample
+	// (window-slot accesses for shard; pushes and wins for push mode).
+	EdgeReads, EdgeWrites int64
+	// RWConflicts and WWConflicts are the census-classified conflict edges
+	// of the sample, when conflict sampling is enabled; -1 marks a sample
+	// with no census attached.
+	RWConflicts, WWConflicts int64
+	// Residual is the convergence residual: the active fraction
+	// (scheduled/|V|) unless the emitting engine computes something
+	// sharper. It trends to zero as the computation converges.
+	Residual float64
+	// BarrierWaitNanos is the summed per-worker barrier-wait (load
+	// imbalance) of the sample, from sched.Pool timing; 0 when the
+	// dispatch ran inline or the executor has no barrier.
+	BarrierWaitNanos int64
+	// DurationNanos is the wall time of the sample.
+	DurationNanos int64
+	// Messages, Duplicates, and Drops are dist-engine deltas (deliveries,
+	// injected duplicates, lossy-link retransmissions) for the sample;
+	// zero for every other engine.
+	Messages, Duplicates, Drops int64
+}
+
+// engineCounters aggregates one engine's events. All fields are atomics so
+// Emit never takes a lock to update them and /metrics renders without
+// stopping emitters.
+type engineCounters struct {
+	samples     atomic.Int64
+	iterations  atomic.Int64 // highest Iter seen + 1
+	updates     atomic.Int64
+	edgeReads   atomic.Int64
+	edgeWrites  atomic.Int64
+	rwConflicts atomic.Int64
+	wwConflicts atomic.Int64
+	barrierWait atomic.Int64 // nanoseconds
+	duration    atomic.Int64 // nanoseconds
+	messages    atomic.Int64
+	duplicates  atomic.Int64
+	drops       atomic.Int64
+	scheduled   atomic.Int64  // last sample's value (gauge)
+	residual    atomic.Uint64 // last sample's value (float64 bits, gauge)
+}
+
+// Options configures an Observer.
+type Options struct {
+	// RingSize is the event ring-buffer capacity; 0 means 1024. The ring
+	// keeps the most recent events for sinks attached late and for the
+	// /events endpoint.
+	RingSize int
+	// SampleConflicts asks engines that support the edgedata census to
+	// enable it and report per-iteration RW/WW conflict rates. It costs
+	// one atomic OR per edge access in the core engine, so it is opt-in.
+	SampleConflicts bool
+}
+
+// Observer receives events from engines and fans them out to counters, the
+// ring buffer, and any attached sinks. A nil *Observer is the disabled
+// state: every method is safe to call on nil and does nothing, so engines
+// guard their telemetry with a single pointer test.
+//
+// One Observer may be shared by any number of engines of any kinds; Emit
+// is safe for concurrent use.
+type Observer struct {
+	opts Options
+
+	counters [numEngines]engineCounters
+
+	mu    sync.Mutex
+	ring  []Event
+	seq   uint64 // events ever emitted (ring head = seq % len)
+	sinks []Sink
+}
+
+// New builds an Observer.
+func New(opts Options) *Observer {
+	if opts.RingSize <= 0 {
+		opts.RingSize = 1024
+	}
+	return &Observer{opts: opts, ring: make([]Event, 0, opts.RingSize)}
+}
+
+// Enabled reports whether o is collecting (non-nil).
+func (o *Observer) Enabled() bool { return o != nil }
+
+// SampleConflicts reports whether engines should attach the conflict
+// census for this observer.
+func (o *Observer) SampleConflicts() bool { return o != nil && o.opts.SampleConflicts }
+
+// Emit records one event: it stamps the time if unset, folds the event
+// into the per-engine counters, stores it in the ring, and hands it to
+// every attached sink. Emit on a nil Observer is a no-op. The event is
+// taken by value and the steady-state path performs no heap allocation.
+func (o *Observer) Emit(ev Event) {
+	if o == nil {
+		return
+	}
+	if ev.TimeUnixNano == 0 {
+		ev.TimeUnixNano = time.Now().UnixNano()
+	}
+	k := ev.Engine
+	if k >= numEngines {
+		k = numEngines - 1
+	}
+	c := &o.counters[k]
+	c.samples.Add(1)
+	if n := ev.Iter + 1; n > c.iterations.Load() {
+		c.iterations.Store(n)
+	}
+	c.updates.Add(ev.Updates)
+	c.edgeReads.Add(ev.EdgeReads)
+	c.edgeWrites.Add(ev.EdgeWrites)
+	if ev.RWConflicts > 0 {
+		c.rwConflicts.Add(ev.RWConflicts)
+	}
+	if ev.WWConflicts > 0 {
+		c.wwConflicts.Add(ev.WWConflicts)
+	}
+	c.barrierWait.Add(ev.BarrierWaitNanos)
+	c.duration.Add(ev.DurationNanos)
+	c.messages.Add(ev.Messages)
+	c.duplicates.Add(ev.Duplicates)
+	c.drops.Add(ev.Drops)
+	c.scheduled.Store(ev.Scheduled)
+	c.residual.Store(floatBits(ev.Residual))
+
+	o.mu.Lock()
+	// Sinks receive a pointer into the ring slot, not &ev: taking ev's
+	// address across the Sink interface would force the (stack) event to
+	// escape, costing one heap allocation per Emit.
+	var slot *Event
+	if len(o.ring) < cap(o.ring) {
+		o.ring = append(o.ring, ev)
+		slot = &o.ring[len(o.ring)-1]
+	} else {
+		i := o.seq % uint64(cap(o.ring))
+		o.ring[i] = ev
+		slot = &o.ring[i]
+	}
+	o.seq++
+	for _, s := range o.sinks {
+		s.Consume(slot)
+	}
+	o.mu.Unlock()
+}
+
+// AttachSink adds a sink; subsequent events are delivered to it in emit
+// order, serialized under the observer's lock. Safe on nil (no-op).
+func (o *Observer) AttachSink(s Sink) {
+	if o == nil || s == nil {
+		return
+	}
+	o.mu.Lock()
+	o.sinks = append(o.sinks, s)
+	o.mu.Unlock()
+}
+
+// Close flushes and closes every attached sink, returning the first error.
+// The observer itself remains usable (counters keep accumulating) but the
+// closed sinks are detached. Safe on nil.
+func (o *Observer) Close() error {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	sinks := o.sinks
+	o.sinks = nil
+	o.mu.Unlock()
+	var first error
+	for _, s := range sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Events returns a copy of the ring buffer's contents in emit order
+// (oldest first). Safe on nil (returns nil).
+func (o *Observer) Events() []Event {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]Event, 0, len(o.ring))
+	if len(o.ring) < cap(o.ring) {
+		return append(out, o.ring...)
+	}
+	head := int(o.seq % uint64(cap(o.ring)))
+	out = append(out, o.ring[head:]...)
+	return append(out, o.ring[:head]...)
+}
+
+// EngineStats is a point-in-time summary of one engine's accumulated
+// telemetry, as rendered by /metrics and the expvar export.
+type EngineStats struct {
+	Engine      string  `json:"engine"`
+	Samples     int64   `json:"samples"`
+	Iterations  int64   `json:"iterations"`
+	Updates     int64   `json:"updates"`
+	EdgeReads   int64   `json:"edge_reads"`
+	EdgeWrites  int64   `json:"edge_writes"`
+	RWConflicts int64   `json:"rw_conflicts"`
+	WWConflicts int64   `json:"ww_conflicts"`
+	BarrierWait int64   `json:"barrier_wait_ns"`
+	Duration    int64   `json:"duration_ns"`
+	Messages    int64   `json:"messages"`
+	Duplicates  int64   `json:"duplicates"`
+	Drops       int64   `json:"drops"`
+	Scheduled   int64   `json:"scheduled_last"`
+	Residual    float64 `json:"residual_last"`
+}
+
+// Stats snapshots the accumulated counters for every engine kind, in label
+// order. Safe on nil (returns nil).
+func (o *Observer) Stats() []EngineStats {
+	if o == nil {
+		return nil
+	}
+	out := make([]EngineStats, numEngines)
+	for k := range o.counters {
+		c := &o.counters[k]
+		out[k] = EngineStats{
+			Engine:      EngineKind(k).String(),
+			Samples:     c.samples.Load(),
+			Iterations:  c.iterations.Load(),
+			Updates:     c.updates.Load(),
+			EdgeReads:   c.edgeReads.Load(),
+			EdgeWrites:  c.edgeWrites.Load(),
+			RWConflicts: c.rwConflicts.Load(),
+			WWConflicts: c.wwConflicts.Load(),
+			BarrierWait: c.barrierWait.Load(),
+			Duration:    c.duration.Load(),
+			Messages:    c.messages.Load(),
+			Duplicates:  c.duplicates.Load(),
+			Drops:       c.drops.Load(),
+			Scheduled:   c.scheduled.Load(),
+			Residual:    floatFromBits(c.residual.Load()),
+		}
+	}
+	return out
+}

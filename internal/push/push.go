@@ -29,6 +29,7 @@ import (
 	"ndgraph/internal/core"
 	"ndgraph/internal/frontier"
 	"ndgraph/internal/graph"
+	"ndgraph/internal/obs"
 	"ndgraph/internal/sched"
 )
 
@@ -86,6 +87,10 @@ type Engine struct {
 
 	// pool holds the persistent push workers, reused across iterations.
 	pool *sched.Pool
+
+	// observer, when non-nil, receives one event per iteration; set with
+	// Observe before Run.
+	observer *obs.Observer
 }
 
 // NewEngine builds a push engine. threads < 1 defaults to GOMAXPROCS;
@@ -107,8 +112,18 @@ func NewEngine(g *graph.Graph, mode Mode, threads int) (*Engine, error) {
 		Vertices: make([]uint64, g.N()),
 		front:    frontier.NewFrontier(g.N()),
 		maxIters: core.DefaultMaxIters,
-		pool:     sched.NewPool(threads),
+		pool:     sched.NewPoolNamed(threads, "push"),
 	}, nil
+}
+
+// Observe attaches an observer: each iteration emits one telemetry event
+// (pushes as edge reads, wins as edge writes). Call before Run; nil
+// detaches.
+func (e *Engine) Observe(o *obs.Observer) {
+	e.observer = o
+	if e.pool != nil {
+		e.pool.SetTimed(o.Enabled())
+	}
 }
 
 // Frontier exposes the scheduled set for seeding.
@@ -134,7 +149,8 @@ func (e *Engine) Run(r Relax) (Result, error) {
 	var pushes, wins atomic.Int64
 	res := Result{Converged: true}
 	if e.pool == nil { // re-create after Close
-		e.pool = sched.NewPool(e.p)
+		e.pool = sched.NewPoolNamed(e.p, "push")
+		e.pool.SetTimed(e.observer.Enabled())
 	}
 	// One relax closure for the whole run, so the per-iteration dispatch
 	// through the pool performs no allocation.
@@ -157,7 +173,25 @@ func (e *Engine) Run(r Relax) (Result, error) {
 			res.Converged = false
 			break
 		}
-		e.pool.RunBlocks(e.front.Members(), relax)
+		members := e.front.Members()
+		prevPushes, prevWins := pushes.Load(), wins.Load()
+		e.pool.RunBlocks(members, relax)
+		if o := e.observer; o != nil {
+			wall, wait := e.pool.TakeBarrierStats()
+			o.Emit(obs.Event{
+				Engine:           obs.EnginePush,
+				Iter:             int64(res.Iterations),
+				Scheduled:        int64(len(members)),
+				Updates:          int64(len(members)),
+				EdgeReads:        pushes.Load() - prevPushes,
+				EdgeWrites:       wins.Load() - prevWins,
+				RWConflicts:      -1,
+				WWConflicts:      -1,
+				Residual:         float64(len(members)) / float64(e.g.N()),
+				BarrierWaitNanos: int64(wait),
+				DurationNanos:    int64(wall),
+			})
+		}
 		res.Iterations++
 		e.front.Advance()
 	}

@@ -1,11 +1,14 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Pool is a persistent worker pool for iteration dispatch. The one-shot
@@ -44,9 +47,21 @@ const (
 // which is what lets the finalizer release an abandoned pool.
 type pool struct {
 	workers int
+	name    string          // pprof "engine" label for the workers ("" = unlabeled)
 	wake    []chan struct{} // per-worker wake tokens (nil when workers == 1)
 	quit    chan struct{}
 	done    sync.WaitGroup
+
+	// Barrier timing, enabled by SetTimed for observability. busyNs[w] is
+	// written only by worker w during a dispatch and read by the
+	// dispatching goroutine after the barrier; the WaitGroup orders the
+	// accesses. accWallNs/accWaitNs accumulate across dispatches (several
+	// per iteration under Chromatic/DIG) until TakeBarrierStats drains
+	// them — only the dispatching goroutine touches those.
+	timed     atomic.Bool
+	busyNs    []int64
+	accWallNs int64
+	accWaitNs int64
 
 	// Dispatch parameters. Written by the dispatching goroutine before the
 	// wake sends and read by workers after the receives; the channel
@@ -76,21 +91,56 @@ type taskPanic struct {
 // NewPool starts a pool of the given number of workers. workers < 1 is
 // treated as 1; a one-worker pool spawns no goroutines and runs every
 // dispatch inline on the caller.
-func NewPool(workers int) *Pool {
+func NewPool(workers int) *Pool { return NewPoolNamed(workers, "") }
+
+// NewPoolNamed starts a pool whose workers carry the pprof goroutine label
+// engine=name, so CPU and block profiles attribute worker time to the
+// owning engine (core, async, shard, push, ...). An empty name labels
+// nothing and is identical to NewPool.
+func NewPoolNamed(workers int, name string) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	in := &pool{workers: workers, quit: make(chan struct{})}
+	in := &pool{workers: workers, name: name, quit: make(chan struct{}), busyNs: make([]int64, workers)}
 	if workers > 1 {
 		in.wake = make([]chan struct{}, workers)
 		for w := range in.wake {
 			in.wake[w] = make(chan struct{}, 1)
-			go in.loop(w)
+			go in.labeledLoop(w)
 		}
 	}
 	out := &Pool{in}
 	runtime.SetFinalizer(out, func(p *Pool) { p.pool.close() })
 	return out
+}
+
+// labeledLoop applies the pool's pprof label set to the worker goroutine
+// and enters the park/wake cycle.
+func (in *pool) labeledLoop(w int) {
+	if in.name != "" {
+		pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+			pprof.Labels("engine", in.name, "role", "pool-worker")))
+	}
+	in.loop(w)
+}
+
+// SetTimed enables (or disables) barrier timing: while on, every dispatch
+// records its wall time and each participating worker's busy time, and the
+// summed per-worker barrier wait (wall − busy, the load imbalance) is
+// accumulated for TakeBarrierStats. Off by default; the observability
+// layer turns it on. Must not be toggled concurrently with a dispatch.
+func (p *Pool) SetTimed(on bool) { p.pool.timed.Store(on) }
+
+// TakeBarrierStats returns the wall time and summed per-worker barrier
+// wait accumulated by timed dispatches since the previous call, and resets
+// the accumulators. Single-worker (inline) dispatches contribute wall time
+// but no wait — there is no barrier to wait at. Must be called from the
+// dispatching goroutine (the engine's barrier loop).
+func (p *Pool) TakeBarrierStats() (wall, wait time.Duration) {
+	in := p.pool
+	wall, wait = time.Duration(in.accWallNs), time.Duration(in.accWaitNs)
+	in.accWallNs, in.accWaitNs = 0, 0
+	return wall, wait
 }
 
 // Workers returns the pool's worker count P.
@@ -119,9 +169,7 @@ func (in *pool) close() {
 func (p *Pool) RunBlocks(items []int, fn func(worker, item int)) {
 	in := p.pool
 	if len(in.wake) == 0 || len(items) <= 1 {
-		for _, it := range items {
-			fn(0, it)
-		}
+		in.runInline(items, fn)
 		return
 	}
 	eff := in.workers
@@ -142,9 +190,7 @@ func (p *Pool) RunChunks(items []int, chunk int, fn func(worker, item int)) {
 		chunk = DefaultChunk
 	}
 	if len(in.wake) == 0 || len(items) <= chunk {
-		for _, it := range items {
-			fn(0, it)
-		}
+		in.runInline(items, fn)
 		return
 	}
 	in.task, in.items, in.itemFn, in.chunk = taskChunks, items, fn, chunk
@@ -168,17 +214,58 @@ func (p *Pool) RunEach(fn func(worker int)) {
 	in.eachFn = nil
 }
 
+// runInline executes a dispatch on the calling goroutine (single-worker
+// pools and degenerate item counts), contributing wall time — but no
+// barrier wait — to the timing accumulators when timing is on.
+func (in *pool) runInline(items []int, fn func(worker, item int)) {
+	timed := in.timed.Load()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	for _, it := range items {
+		fn(0, it)
+	}
+	if timed {
+		in.accWallNs += time.Since(t0).Nanoseconds()
+	}
+}
+
 // dispatch wakes every worker, waits for the barrier, and re-raises the
 // first recovered worker panic on the caller.
 func (in *pool) dispatch() {
 	if in.closed.Load() {
 		panic("sched: dispatch on closed Pool")
 	}
+	timed := in.timed.Load()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+		for w := range in.busyNs {
+			in.busyNs[w] = 0
+		}
+	}
 	in.done.Add(len(in.wake))
 	for _, c := range in.wake {
 		c <- struct{}{}
 	}
 	in.done.Wait()
+	if timed {
+		wallNs := time.Since(t0).Nanoseconds()
+		in.accWallNs += wallNs
+		// Barrier wait is wall − busy per participating worker: the time a
+		// finished worker idled at the barrier while stragglers ran — the
+		// observable cost of the paper's Fig. 1 static-block skew.
+		participants := len(in.wake)
+		if in.task == taskBlocks && in.eff < participants {
+			participants = in.eff
+		}
+		for w := 0; w < participants; w++ {
+			if d := wallNs - in.busyNs[w]; d > 0 {
+				in.accWaitNs += d
+			}
+		}
+	}
 	in.task = taskNone
 	if p := in.panicked.Swap(nil); p != nil {
 		panic(fmt.Sprintf("sched: pool task panicked: %v\n%s", p.value, p.stack))
@@ -206,6 +293,11 @@ func (in *pool) run(w int) {
 			in.panicked.CompareAndSwap(nil, &taskPanic{value: r, stack: debug.Stack()})
 		}
 	}()
+	timed := in.timed.Load()
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	switch in.task {
 	case taskBlocks:
 		if w < in.eff {
@@ -218,7 +310,7 @@ func (in *pool) run(w int) {
 		for {
 			lo := int(in.cursor.Add(int64(in.chunk))) - in.chunk
 			if lo >= n {
-				return
+				break
 			}
 			hi := lo + in.chunk
 			if hi > n {
@@ -230,5 +322,8 @@ func (in *pool) run(w int) {
 		}
 	case taskEach:
 		in.eachFn(w)
+	}
+	if timed {
+		in.busyNs[w] = time.Since(t0).Nanoseconds()
 	}
 }

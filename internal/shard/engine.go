@@ -12,6 +12,7 @@ import (
 	"ndgraph/internal/edgedata"
 	"ndgraph/internal/fault"
 	"ndgraph/internal/frontier"
+	"ndgraph/internal/obs"
 	"ndgraph/internal/sched"
 )
 
@@ -33,6 +34,9 @@ type Options struct {
 	// interval's in-memory window store is wrapped, faulted slots
 	// reschedule both endpoints, and an injected crash aborts the pass.
 	Inject *fault.Injector
+	// Observer, when non-nil, receives one telemetry event per full pass
+	// over the intervals (the PSW analog of an iteration).
+	Observer *obs.Observer
 }
 
 // Result reports a PSW run.
@@ -68,6 +72,11 @@ type Engine struct {
 	// flushBuf is the reusable write-back snapshot buffer; flush refills it
 	// per interval instead of allocating a fresh O(window) slice each time.
 	flushBuf []uint64
+
+	// obsReads/obsWrites accumulate the pass's window-slot accesses for the
+	// observer. The views they are summed from are rebuilt per interval, so
+	// the engine carries the pass totals; written only between dispatches.
+	obsReads, obsWrites int64
 }
 
 // updatePanic captures a recovered UpdateFunc panic.
@@ -91,7 +100,9 @@ func NewEngine(st *Storage, opts Options) (*Engine, error) {
 	if opts.MaxIters <= 0 {
 		opts.MaxIters = core.DefaultMaxIters
 	}
-	return &Engine{st: st, opts: opts, front: frontier.NewFrontier(st.N()), pool: sched.NewPool(opts.Threads)}, nil
+	e := &Engine{st: st, opts: opts, front: frontier.NewFrontier(st.N()), pool: sched.NewPoolNamed(opts.Threads, "shard")}
+	e.pool.SetTimed(opts.Observer.Enabled())
+	return e, nil
 }
 
 // Frontier exposes the scheduled set for seeding.
@@ -120,7 +131,8 @@ func (e *Engine) Run(update core.UpdateFunc) (Result, error) {
 	}
 	e.panicked.Store(nil)
 	if e.pool == nil { // re-create after Close
-		e.pool = sched.NewPool(e.opts.Threads)
+		e.pool = sched.NewPoolNamed(e.opts.Threads, "shard")
+		e.pool.SetTimed(e.opts.Observer.Enabled())
 	}
 	if inj := e.opts.Inject; inj != nil {
 		// Heal rule: window slots map back to endpoints through the
@@ -167,6 +179,7 @@ func (e *Engine) Run(update core.UpdateFunc) (Result, error) {
 			}
 		}
 		members := e.front.Members()
+		passUpdates := res.Updates
 		cursor := 0
 		for i := range e.st.intervals {
 			iv := e.st.intervals[i]
@@ -208,6 +221,14 @@ func (e *Engine) Run(update core.UpdateFunc) (Result, error) {
 			}
 			e.pool.RunBlocks(scheduled, run)
 			e.curSub.Store(nil)
+			if e.opts.Observer != nil {
+				// The views die with the interval; bank their counters on
+				// the engine so the pass-level emit sees the totals.
+				for w := range sub.views {
+					e.obsReads += sub.views[w].nReads
+					e.obsWrites += sub.views[w].nWrites
+				}
+			}
 			if p := e.panicked.Load(); p != nil {
 				res.Converged = false
 				res.Duration = time.Since(start)
@@ -220,6 +241,23 @@ func (e *Engine) Run(update core.UpdateFunc) (Result, error) {
 				return res, err
 			}
 			res.BytesWritten += written
+		}
+		if o := e.opts.Observer; o != nil {
+			wall, wait := e.pool.TakeBarrierStats()
+			o.Emit(obs.Event{
+				Engine:           obs.EngineShard,
+				Iter:             int64(res.Iterations),
+				Scheduled:        int64(len(members)),
+				Updates:          res.Updates - passUpdates,
+				EdgeReads:        e.obsReads,
+				EdgeWrites:       e.obsWrites,
+				RWConflicts:      -1,
+				WWConflicts:      -1,
+				Residual:         float64(len(members)) / float64(e.st.N()),
+				BarrierWaitNanos: int64(wait),
+				DurationNanos:    int64(wall),
+			})
+			e.obsReads, e.obsWrites = 0, 0
 		}
 		res.Iterations++
 		e.front.Advance()
@@ -369,6 +407,10 @@ type shardView struct {
 	sub *subgraph
 	v   uint32
 	lv  uint32 // v - interval.Lo
+
+	// nReads/nWrites count window-slot accesses for the observer;
+	// worker-private, banked on the engine after each interval dispatch.
+	nReads, nWrites int64
 }
 
 func (c *shardView) bind(v uint32) {
@@ -391,15 +433,24 @@ func (c *shardView) OutNeighbor(k int) uint32 { return c.sub.outDst[c.lv][k] }
 func (c *shardView) InEdgeID(k int) uint32  { return c.sub.inSlot[c.lv][k] }
 func (c *shardView) OutEdgeID(k int) uint32 { return c.sub.outSlot[c.lv][k] }
 
-func (c *shardView) InEdgeVal(k int) uint64  { return c.sub.store.Load(c.sub.inSlot[c.lv][k]) }
-func (c *shardView) OutEdgeVal(k int) uint64 { return c.sub.store.Load(c.sub.outSlot[c.lv][k]) }
+func (c *shardView) InEdgeVal(k int) uint64 {
+	c.nReads++
+	return c.sub.store.Load(c.sub.inSlot[c.lv][k])
+}
+
+func (c *shardView) OutEdgeVal(k int) uint64 {
+	c.nReads++
+	return c.sub.store.Load(c.sub.outSlot[c.lv][k])
+}
 
 func (c *shardView) SetInEdgeVal(k int, w uint64) {
+	c.nWrites++
 	c.sub.store.Store(c.sub.inSlot[c.lv][k], w)
 	c.sub.eng.front.Schedule(int(c.sub.inSrc[c.lv][k]))
 }
 
 func (c *shardView) SetOutEdgeVal(k int, w uint64) {
+	c.nWrites++
 	c.sub.store.Store(c.sub.outSlot[c.lv][k], w)
 	c.sub.eng.front.Schedule(int(c.sub.outDst[c.lv][k]))
 }

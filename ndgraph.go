@@ -44,6 +44,7 @@ import (
 	"ndgraph/internal/graph"
 	"ndgraph/internal/loader"
 	"ndgraph/internal/metrics"
+	"ndgraph/internal/obs"
 	"ndgraph/internal/push"
 	"ndgraph/internal/sched"
 	"ndgraph/internal/shard"
@@ -288,6 +289,41 @@ var (
 	DistWCC = dist.WCC
 	// DistSSSP runs distributed single-source shortest paths.
 	DistSSSP = dist.SSSP
+)
+
+// Observability: the zero-overhead-when-disabled telemetry layer. Attach
+// one Observer to any number of engines (Options.Observer for core,
+// AsyncOptions.Observer, ShardOptions.Observer, DistOptions.Observer, and
+// the Observe methods of PushEngine / AutonomousEngine); events flow into
+// per-engine counters, a ring buffer, and any attached sinks; serve live
+// metrics with ServeTelemetry (-telemetry-addr on the CLIs).
+type (
+	// Observer collects telemetry events from engines. nil disables
+	// collection at the cost of one pointer test per iteration.
+	Observer = obs.Observer
+	// ObserverOptions configures an Observer.
+	ObserverOptions = obs.Options
+	// TelemetryEvent is one per-iteration (or per-sample-window) sample.
+	TelemetryEvent = obs.Event
+	// TelemetrySink consumes emitted events (JSONL, expvar, custom).
+	TelemetrySink = obs.Sink
+	// TelemetryServer is a running /metrics + /debug/pprof endpoint.
+	TelemetryServer = obs.Server
+	// TelemetryEngineKind labels which executor emitted an event.
+	TelemetryEngineKind = obs.EngineKind
+	// TelemetryEngineStats is one engine's accumulated counter snapshot,
+	// as returned by Observer.Stats and rendered by /metrics.
+	TelemetryEngineStats = obs.EngineStats
+)
+
+var (
+	// NewObserver builds an observability collector.
+	NewObserver = obs.New
+	// NewJSONLSink streams events as JSON lines to a writer.
+	NewJSONLSink = obs.NewJSONLSink
+	// ServeTelemetry serves /metrics, /events, /debug/vars, and
+	// /debug/pprof for an observer on the given address.
+	ServeTelemetry = obs.Serve
 )
 
 // TraceRecorder records execution paths (Options.Trace).

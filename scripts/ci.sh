@@ -24,6 +24,21 @@ go test ./...
 echo "== go test -race (concurrency-heavy packages, short) =="
 go test -race -short ./internal/core/ ./internal/async/ ./internal/dist/ ./internal/fault/ ./internal/shard/
 
+echo "== go test -race (cross-engine differential, lock + atomic modes) =="
+# The differential suite pins every executor to the sequential DE fixed
+# point using ModeLocked/ModeAtomic only (ModeAligned is compiled out of
+# race builds), so it doubles as the race gate for the full engine grid.
+go test -race -run 'TestCrossEngine' -count=1 .
+
+echo "== fuzz smoke (\${FUZZTIME:-30s} per target) =="
+# Each native fuzz target gets a short randomized run on top of its
+# checked-in seed corpus; FUZZTIME=5s locally for a quicker gate.
+FUZZTIME=${FUZZTIME:-30s}
+for target in FuzzLoadEdgeList FuzzLoadMatrixMarket FuzzReadBinary; do
+    go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime "$FUZZTIME" ./internal/loader/
+done
+go test -run '^FuzzCheckpointRestore$' -fuzz '^FuzzCheckpointRestore$' -fuzztime "$FUZZTIME" ./internal/core/
+
 echo "== bench smoke (1x, JSON pipeline) =="
 # One iteration per benchmark family through scripts/bench.sh; the pipeline
 # validates its own JSON output, so a broken parser or benchmark fails CI.

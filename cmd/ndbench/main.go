@@ -53,7 +53,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ndbench", flag.ContinueOnError)
 	var exps expList
-	fs.Var(&exps, "exp", "experiment to run: all, table1, fig3, table2, table3, conflicts, iters, async, topk, ablate, psw, dist, fpvar, precision (repeatable)")
+	fs.Var(&exps, "exp", "experiment to run: all, table1, fig3, table2, table3, conflicts, iters, async, topk, ablate, psw, dist, fpvar, precision, divergence (repeatable)")
 	scale := fs.Int("scale", 50, "dataset scale divisor (1 = full paper size)")
 	seed := fs.Uint64("seed", 42, "master random seed")
 	threadsFlag := fs.String("threads", "1,2,4,8,16", "comma-separated worker counts for Fig. 3")
@@ -62,6 +62,7 @@ func run(args []string, out io.Writer) error {
 	noAligned := fs.Bool("no-aligned", false, "skip the arch-support (benign-race) mode")
 	telemetry := fs.String("telemetry", "", "write per-iteration telemetry as JSON lines to this file")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve live /metrics, /events, and /debug/pprof on this address (e.g. :6060)")
+	tracePath := fs.String("trace", "", "save the divergence study's recorded run pairs as PREFIX-<algo>-{a,b}.ndt")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,11 +79,12 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("bad -eps: %w", err)
 	}
 	cfg := experiments.Config{
-		Scale:    *scale,
-		Seed:     *seed,
-		Threads:  threads,
-		Runs:     *runs,
-		Epsilons: eps,
+		Scale:     *scale,
+		Seed:      *seed,
+		Threads:   threads,
+		Runs:      *runs,
+		Epsilons:  eps,
+		TracePath: *tracePath,
 	}
 	if *telemetry != "" || *telemetryAddr != "" {
 		cfg.Observer = obs.New(obs.Options{})
@@ -168,6 +170,26 @@ func run(args []string, out io.Writer) error {
 	}
 	if all || want["precision"] {
 		if err := printPrecision(out, cfg); err != nil {
+			return err
+		}
+	}
+	if all || want["divergence"] {
+		if err := printDivergence(out, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printDivergence(out io.Writer, cfg experiments.Config) error {
+	rows, err := experiments.DivergenceStudy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "\n=== Extension: execution-path divergence of repeated nondeterministic runs ===")
+	for _, r := range rows {
+		fmt.Fprintf(out, "\n%s on %s, %d threads (pair %d):\n", r.Algo, r.Graph, r.Threads, r.Pairs)
+		if err := r.Report.WriteReport(out); err != nil {
 			return err
 		}
 	}

@@ -56,7 +56,8 @@ func run(args []string, out io.Writer) error {
 	amplify := fs.Bool("amplify", false, "inject scheduling yields to widen race windows")
 	census := fs.Bool("census", false, "count observed conflicts during the run")
 	dispatch := fs.String("dispatch", "static", "intra-iteration dispatch: static (Fig. 1 blocks) or dynamic (chunked)")
-	tracePath := fs.String("trace", "", "write the execution path as CSV to this file")
+	tracePath := fs.String("trace", "", "record the execution path + commit log as an NDTR binary trace to this file (inspect with ndtrace)")
+	traceCSV := fs.String("trace-csv", "", "write the execution path as CSV to this file")
 	telemetry := fs.String("telemetry", "", "write per-iteration telemetry as JSON lines to this file")
 	telemetryAddr := fs.String("telemetry-addr", "", "serve live /metrics, /events, and /debug/pprof on this address (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
@@ -109,8 +110,13 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown dispatch policy %q", *dispatch)
 	}
 	var rec *trace.Recorder
-	if *tracePath != "" {
+	if *tracePath != "" || *traceCSV != "" {
 		rec = trace.NewRecorder(1 << 22)
+		if *tracePath != "" {
+			// The binary trace carries the commit log so ndtrace replay can
+			// force the recorded racy outcomes.
+			rec.EnableCommits(1<<23, g.M())
+		}
 	}
 	var observer *obs.Observer
 	if *telemetry != "" || *telemetryAddr != "" {
@@ -158,15 +164,50 @@ func run(args []string, out io.Writer) error {
 		printTop(out, eng, a, *top)
 	}
 	if rec != nil {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			return err
+		snap := rec.Snapshot(trace.Meta{
+			Vertices: g.N(), Edges: g.M(),
+			KV: map[string]string{
+				"algo":     *algoName,
+				"graph":    *graphFile,
+				"dataset":  *dataset,
+				"scale":    fmt.Sprint(*scale),
+				"seed":     fmt.Sprint(*seed),
+				"sched":    kind.String(),
+				"mode":     mode.String(),
+				"threads":  fmt.Sprint(eng.Options().Threads),
+				"eps":      fmt.Sprint(*eps),
+				"source":   fmt.Sprint(src),
+				"amplify":  fmt.Sprint(*amplify),
+				"dispatch": *dispatch,
+			},
+		})
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			if err := trace.WriteBinary(f, snap); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "trace: %d events, %d commits written to %s\n",
+				len(snap.Events), len(snap.Commits), *tracePath)
 		}
-		defer f.Close()
-		if err := rec.WriteCSV(f); err != nil {
-			return err
+		if *traceCSV != "" {
+			f, err := os.Create(*traceCSV)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := rec.WriteCSV(f); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "trace: %d events written to %s\n", rec.Len(), *traceCSV)
 		}
-		fmt.Fprintf(out, "trace: %d events written to %s\n", rec.Len(), *tracePath)
+		observer.SetTraceSource(func(w io.Writer) error { return trace.WriteBinary(w, snap) })
 	}
 	return nil
 }

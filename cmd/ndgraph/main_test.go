@@ -8,6 +8,7 @@ import (
 
 	"ndgraph/internal/gen"
 	"ndgraph/internal/loader"
+	"ndgraph/internal/trace"
 )
 
 func TestRunDatasetWCC(t *testing.T) {
@@ -102,18 +103,39 @@ func TestRunErrors(t *testing.T) {
 
 func TestRunTraceAndDynamicDispatch(t *testing.T) {
 	dir := t.TempDir()
-	tracePath := filepath.Join(dir, "trace.csv")
+	tracePath := filepath.Join(dir, "trace.ndt")
+	csvPath := filepath.Join(dir, "trace.csv")
 	var sb strings.Builder
 	err := run([]string{"-algo", "wcc", "-dataset", "web-google", "-scale", "1000",
 		"-sched", "nondet", "-mode", "atomic", "-threads", "2",
-		"-dispatch", "dynamic", "-trace", tracePath}, &sb)
+		"-dispatch", "dynamic", "-trace", tracePath, "-trace-csv", csvPath}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "trace:") {
 		t.Fatalf("output missing trace notice:\n%s", sb.String())
 	}
-	data, err := os.ReadFile(tracePath)
+	// -trace writes the NDTR binary container; the payload must be loadable
+	// and carry the provenance needed by `ndtrace replay`.
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadBinary(f)
+	if err != nil {
+		t.Fatalf("reading NDTR trace: %v", err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("NDTR trace has no events")
+	}
+	for _, key := range []string{"algo", "dataset", "scale", "seed", "sched", "mode"} {
+		if _, ok := tr.Meta.KV[key]; !ok {
+			t.Errorf("NDTR trace meta missing provenance key %q", key)
+		}
+	}
+	// -trace-csv keeps the human-readable flat form.
+	data, err := os.ReadFile(csvPath)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,6 +33,7 @@ import (
 	"ndgraph/internal/graph"
 	"ndgraph/internal/obs"
 	"ndgraph/internal/sched"
+	"ndgraph/internal/trace"
 )
 
 // sampleWindow is the per-worker update count between telemetry samples.
@@ -61,6 +62,11 @@ type Options struct {
 	// Observer, when non-nil, receives one telemetry event per worker per
 	// sampleWindow updates plus a final aggregate at quiescence.
 	Observer *obs.Observer
+	// Trace, when non-nil, records one event per executed update (worker,
+	// vertex, write count, committed vertex value). Barrier-free runs have
+	// no iterations, so every event records iteration 0; capture order is
+	// the real execution order the queue produced.
+	Trace *trace.Recorder
 }
 
 // Result summarizes a barrier-free run.
@@ -133,6 +139,7 @@ func NewExecutor(g *graph.Graph, opts Options) (*Executor, error) {
 	}
 	for i := range x.views {
 		x.views[i].x = x
+		x.views[i].worker = i
 	}
 	if opts.Inject != nil {
 		x.Edges = opts.Inject.Wrap(x.Edges)
@@ -311,6 +318,9 @@ func (x *Executor) runOne(view *view, update core.UpdateFunc, v uint32) {
 	}()
 	view.bind(v)
 	update(view)
+	if t := x.opts.Trace; t != nil {
+		t.Record(0, view.worker, v, view.uWrites, x.Vertices[v])
+	}
 }
 
 // emitSample emits one telemetry sample from worker-view vw's accumulated
@@ -339,6 +349,7 @@ func (x *Executor) emitSample(o *obs.Observer, vw *view, durationNs int64) {
 // onto the live queue immediately.
 type view struct {
 	x      *Executor
+	worker int
 	v      uint32
 	inSrc  []uint32
 	inIdx  []uint32
@@ -348,6 +359,9 @@ type view struct {
 	// nUpdates/nReads/nWrites accumulate this worker's telemetry window;
 	// worker-private, drained by emitSample.
 	nUpdates, nReads, nWrites int64
+	// uWrites counts edge writes of the currently bound update, for the
+	// execution-path trace.
+	uWrites int
 }
 
 func (c *view) bind(v uint32) {
@@ -357,6 +371,7 @@ func (c *view) bind(v uint32) {
 	c.inIdx = g.InEdgeIndices(v)
 	c.outDst = g.OutNeighbors(v)
 	c.outLo, _ = g.OutEdgeIndex(v)
+	c.uWrites = 0
 }
 
 func (c *view) V() uint32               { return c.v }
@@ -383,12 +398,14 @@ func (c *view) Yield()        {}
 
 func (c *view) SetInEdgeVal(k int, w uint64) {
 	c.nWrites++
+	c.uWrites++
 	c.x.Edges.Store(c.inIdx[k], w)
 	c.x.schedule(int(c.inSrc[k]))
 }
 
 func (c *view) SetOutEdgeVal(k int, w uint64) {
 	c.nWrites++
+	c.uWrites++
 	c.x.Edges.Store(c.outLo+uint32(k), w)
 	c.x.schedule(int(c.outDst[k]))
 }

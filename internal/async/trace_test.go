@@ -1,0 +1,40 @@
+package async
+
+import (
+	"testing"
+
+	"ndgraph/internal/algorithms"
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/gen"
+	"ndgraph/internal/trace"
+)
+
+// The async executor records one trace event per executed update, tagged
+// with the executing worker.
+func TestAsyncTraceRecordsUpdates(t *testing.T) {
+	g, err := gen.RMAT(300, 1800, gen.DefaultRMAT, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(1 << 18)
+	x, res := runAsync(t, algorithms.NewWCC(), g, Options{
+		Threads: 4, Mode: edgedata.ModeAtomic, Trace: rec,
+	})
+	defer x.Close()
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if rec.Total() != res.Updates {
+		t.Fatalf("trace recorded %d events for %d updates", rec.Total(), res.Updates)
+	}
+	// Worker ids must be valid; whether more than one worker got to the
+	// queue before it drained is timing-dependent, so it is not asserted.
+	for _, ev := range rec.Events() {
+		if int(ev.Vertex) >= g.N() {
+			t.Fatalf("event names vertex %d outside the graph", ev.Vertex)
+		}
+		if ev.Worker < 0 || ev.Worker >= 4 {
+			t.Fatalf("event carries worker %d outside the pool", ev.Worker)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"ndgraph/internal/edgedata"
 	"ndgraph/internal/graph"
 	"ndgraph/internal/obs"
+	"ndgraph/internal/trace"
 )
 
 // sampleWindow is the update count between telemetry samples; the executor
@@ -134,6 +135,10 @@ type Engine struct {
 	// plus a final one at quiescence; set with Observe before Run.
 	observer *obs.Observer
 	samples  int64
+
+	// trace, when non-nil, records one event per executed update; set with
+	// Trace before Run.
+	trace *trace.Recorder
 }
 
 // NewEngine builds an autonomous executor for g. maxUpdates caps the run
@@ -163,6 +168,11 @@ func (e *Engine) Post(v uint32, priority float64) { e.sched.Post(v, priority) }
 
 // Observe attaches an observer; nil detaches. Call before Run.
 func (e *Engine) Observe(o *obs.Observer) { e.observer = o }
+
+// Trace attaches an execution-path recorder: every executed update records
+// one event (iteration 0, worker 0 — the executor is sequential, so the
+// event sequence IS the execution path). Call before Run; nil detaches.
+func (e *Engine) Trace(rec *trace.Recorder) { e.trace = rec }
 
 // emitSample emits one telemetry window and resets the view's counters.
 func (e *Engine) emitSample(view *autoView, updates, durationNs int64) {
@@ -201,6 +211,9 @@ func (e *Engine) Run(update UpdateFunc) (Result, error) {
 		view.bind(v)
 		update(view, e.sched)
 		res.Updates++
+		if t := e.trace; t != nil {
+			t.Record(0, 0, v, view.uWrites, e.Vertices[v])
+		}
 		if e.observer != nil {
 			if window++; window >= sampleWindow {
 				e.emitSample(view, window, 0)
@@ -227,8 +240,10 @@ type autoView struct {
 	outDst []uint32
 	outLo  uint32
 
-	// nReads/nWrites accumulate the telemetry window's edge accesses.
+	// nReads/nWrites accumulate the telemetry window's edge accesses;
+	// uWrites counts the current update's edge writes for the trace.
 	nReads, nWrites int64
+	uWrites         int
 }
 
 func (c *autoView) bind(v uint32) {
@@ -238,6 +253,7 @@ func (c *autoView) bind(v uint32) {
 	c.inIdx = g.InEdgeIndices(v)
 	c.outDst = g.OutNeighbors(v)
 	c.outLo, _ = g.OutEdgeIndex(v)
+	c.uWrites = 0
 }
 
 func (c *autoView) V() uint32                { return c.v }
@@ -259,10 +275,12 @@ func (c *autoView) OutEdgeVal(k int) uint64 {
 }
 func (c *autoView) SetInEdgeVal(k int, w uint64) {
 	c.nWrites++
+	c.uWrites++
 	c.e.Edges.Store(c.inIdx[k], w)
 }
 func (c *autoView) SetOutEdgeVal(k int, w uint64) {
 	c.nWrites++
+	c.uWrites++
 	c.e.Edges.Store(c.outLo+uint32(k), w)
 }
 func (c *autoView) ScheduleSelf() {}

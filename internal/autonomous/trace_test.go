@@ -1,0 +1,54 @@
+package autonomous
+
+import (
+	"testing"
+
+	"ndgraph/internal/core"
+	"ndgraph/internal/gen"
+	"ndgraph/internal/trace"
+)
+
+// The autonomous executor records one trace event per executed update, in
+// execution order — the priority queue's drain order IS the path.
+func TestAutonomousTraceRecordsDrainOrder(t *testing.T) {
+	g, err := gen.RMAT(200, 1200, gen.DefaultRMAT, 151)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(1 << 16)
+	e.Trace(rec)
+	for v := range e.Vertices {
+		e.Vertices[v] = uint64(v)
+	}
+	for v := 0; v < g.N(); v++ {
+		e.Post(uint32(v), float64(v))
+	}
+	res, err := e.Run(func(ctx core.VertexView, s *Scheduler) {
+		min := ctx.Vertex()
+		for k := 0; k < ctx.OutDegree(); k++ {
+			if u := uint64(ctx.OutNeighbor(k)); u < min {
+				min = u
+			}
+		}
+		ctx.SetVertex(min)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Total() != res.Updates {
+		t.Fatalf("trace recorded %d events for %d updates", rec.Total(), res.Updates)
+	}
+	// Priority = vertex id and no reposts, so the drain order is ascending.
+	for i, ev := range rec.Events() {
+		if int(ev.Vertex) != i {
+			t.Fatalf("event %d executed vertex %d; priority order violated", i, ev.Vertex)
+		}
+		if ev.Worker != 0 || ev.Iteration != 0 {
+			t.Fatalf("sequential executor recorded worker %d iteration %d", ev.Worker, ev.Iteration)
+		}
+	}
+}

@@ -36,6 +36,11 @@ type Ctx struct {
 	// execution-path trace.
 	writes int
 
+	// traceIdx is the capture index of the running update in the trace
+	// recorder (-1 when tracing is off or the event was dropped); it tags
+	// recorded edge commits with their owning update.
+	traceIdx int64
+
 	// sumReads / sumWrites accumulate edge accesses across binds. They are
 	// worker-private (no synchronization) and drained by the engine at the
 	// iteration barrier when an observer is attached; the unconditional
@@ -159,7 +164,11 @@ func (c *Ctx) SetInEdgeVal(k int, w uint64) {
 	if obs := c.eng.opts.OnEdgeWrite; obs != nil {
 		obs(e, c.eng.Edges.Load(e), w)
 	}
-	c.eng.Edges.Store(e, w)
+	if c.eng.traceCommits {
+		c.eng.commitStore(c.traceIdx, e, w)
+	} else {
+		c.eng.Edges.Store(e, w)
+	}
 	c.eng.front.Schedule(int(c.inSrc[k]))
 }
 
@@ -179,7 +188,11 @@ func (c *Ctx) SetOutEdgeVal(k int, w uint64) {
 	if obs := c.eng.opts.OnEdgeWrite; obs != nil {
 		obs(e, c.eng.Edges.Load(e), w)
 	}
-	c.eng.Edges.Store(e, w)
+	if c.eng.traceCommits {
+		c.eng.commitStore(c.traceIdx, e, w)
+	} else {
+		c.eng.Edges.Store(e, w)
+	}
 	c.eng.front.Schedule(int(c.outDst[k]))
 }
 

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -116,9 +117,14 @@ type Options struct {
 	// RecordIters retains per-iteration statistics in Result.PerIter.
 	RecordIters bool
 	// Trace, when non-nil, records the execution path (iteration, worker,
-	// vertex, write count per update) into the given recorder. Two
-	// deterministic runs record identical paths; nondeterministic runs
-	// generally do not — the observable core of the paper's distinction.
+	// vertex, write count and committed vertex value per update) into the
+	// given recorder. Two deterministic runs record identical paths;
+	// nondeterministic runs generally do not — the observable core of the
+	// paper's distinction. If the recorder's commit log is enabled
+	// (EnableCommits), every edge write additionally goes through a striped
+	// lock that makes the physical store and the commit record atomic per
+	// edge, so the recorded per-edge order equals the physical commit order
+	// and the run becomes replayable with ReplayTrace.
 	Trace *trace.Recorder
 	// OnEdgeWrite, when non-nil, observes every committed edge write with
 	// the edge's canonical index and its old and new words. Intended for
@@ -188,6 +194,17 @@ type Engine struct {
 	// probeShadow holds the pre-iteration edge words for PotentialCensus
 	// replay reads.
 	probeShadow []uint64
+
+	// traceCommits is set for the duration of a Run whose recorder has the
+	// commit log enabled; edge writes then go through commitStore, which
+	// serializes the physical store and the commit record per edge stripe.
+	traceCommits bool
+	// traceLocks are the commit-order stripes (allocated on first traced
+	// run with commits enabled).
+	traceLocks []sync.Mutex
+	// traceShadow is the edge snapshot buffer reused for the end-of-run
+	// state digest.
+	traceShadow []uint64
 
 	// chromatic coloring, computed lazily on first chromatic run.
 	colors    []uint32
@@ -314,6 +331,10 @@ func (e *Engine) Run(update UpdateFunc) (Result, error) {
 	e.curUpdate = update
 	e.updates.Store(e.startUpdates)
 	e.panicked.Store(nil)
+	e.traceCommits = e.opts.Trace != nil && e.opts.Trace.CommitsEnabled()
+	if e.traceCommits && e.traceLocks == nil {
+		e.traceLocks = make([]sync.Mutex, traceStripes)
+	}
 	if inj := e.opts.Inject; inj != nil {
 		// Heal rule: every faulted edge reschedules both endpoints — the
 		// task generation the phantom racing competitor would have applied
@@ -335,6 +356,11 @@ func (e *Engine) Run(update UpdateFunc) (Result, error) {
 		res.Updates = e.updates.Load()
 		if e.census != nil {
 			res.RWConflicts, res.WWConflicts = e.census.Totals()
+		}
+		if t := e.opts.Trace; t != nil {
+			// Install the final-state digest so a replay of this trace can
+			// assert it reaches the byte-identical fixed point.
+			t.SetDigest(e.stateDigest())
 		}
 	}
 	for e.front.Size() > 0 {
@@ -459,6 +485,10 @@ func (e *Engine) emitIter(o *obs.Observer, iter int, stat IterStat) {
 	if e.census != nil {
 		rw, ww = int64(stat.RW), int64(stat.WW)
 	}
+	var tCommits, tContested int64
+	if t := e.opts.Trace; t != nil && t.CommitsEnabled() {
+		tCommits, tContested = t.TakeIterCommitStats()
+	}
 	wall, wait := e.pool.TakeBarrierStats()
 	o.Emit(obs.Event{
 		Engine:           obs.EngineCore,
@@ -469,6 +499,8 @@ func (e *Engine) emitIter(o *obs.Observer, iter int, stat IterStat) {
 		EdgeWrites:       writes,
 		RWConflicts:      rw,
 		WWConflicts:      ww,
+		TraceCommits:     tCommits,
+		ContestedCommits: tContested,
 		Residual:         float64(stat.Scheduled) / float64(e.g.N()),
 		BarrierWaitNanos: int64(wait),
 		DurationNanos:    int64(wall),
@@ -494,10 +526,16 @@ func (e *Engine) runOne(worker, v int) {
 	}
 	ctx := &e.workers[worker]
 	ctx.bind(uint32(v))
-	e.curUpdate(ctx)
-	if e.opts.Trace != nil {
-		e.opts.Trace.Record(e.curIter, worker, uint32(v), ctx.writes)
+	if t := e.opts.Trace; t != nil {
+		// Reserve the capture slot before the update runs so its edge
+		// commits can name their owning update; complete it afterwards
+		// with the write count and the committed vertex value.
+		ctx.traceIdx = t.Begin(e.curIter, worker, uint32(v))
+		e.curUpdate(ctx)
+		t.Finish(ctx.traceIdx, ctx.writes, e.Vertices[v])
+		return
 	}
+	e.curUpdate(ctx)
 }
 
 // dispatch runs one iteration's scheduled updates under the configured

@@ -41,6 +41,7 @@ import (
 	"ndgraph/internal/graph"
 	"ndgraph/internal/obs"
 	"ndgraph/internal/rng"
+	"ndgraph/internal/trace"
 )
 
 // sampleWindow is the per-worker delivery count between telemetry samples:
@@ -85,6 +86,11 @@ type Options struct {
 	// sampleWindow deliveries plus a final aggregate carrying the run's
 	// duplicate and retransmission totals.
 	Observer *obs.Observer
+	// Trace, when non-nil, records one event per *adoption* (a delivery
+	// that improved its destination): iteration 0, worker = the owning
+	// machine, Vertex = destination, Writes = 1, Value = the adopted word.
+	// The capture order is the run's nondeterministic adoption order.
+	Trace *trace.Recorder
 }
 
 // Result reports a distributed run.
@@ -304,6 +310,9 @@ func Run(g *graph.Graph, p Propagation, opts Options) ([]uint64, Result, error) 
 						// Only the owner worker touches values[m.to], so the
 						// adopt is race-free.
 						values[m.to] = m.val
+						if t := opts.Trace; t != nil {
+							t.Record(0, w, m.to, 1, m.val)
+						}
 						broadcast(m.to, m.val, r)
 					}
 					if tallies != nil {

@@ -1,0 +1,43 @@
+package dist
+
+import (
+	"testing"
+
+	"ndgraph/internal/gen"
+	"ndgraph/internal/trace"
+)
+
+// The distributed simulator records one trace event per adoption; the final
+// per-vertex adopted value in the trace matches the returned labels.
+func TestDistTraceRecordsAdoptions(t *testing.T) {
+	g, err := gen.RMAT(300, 1800, gen.DefaultRMAT, 57)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(1 << 18)
+	labels, res, err := WCC(g, Options{Workers: 4, Seed: 9, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if rec.Total() == 0 {
+		t.Fatal("no adoptions recorded")
+	}
+	// Replay the adoption log sequentially: last recorded value per vertex
+	// must equal the returned label (capture order is commit order — each
+	// vertex is owned by one worker).
+	final := map[uint32]uint64{}
+	for _, ev := range rec.Events() {
+		if ev.Writes != 1 {
+			t.Fatalf("adoption event carries Writes=%d", ev.Writes)
+		}
+		final[ev.Vertex] = ev.Value
+	}
+	for v, val := range final {
+		if uint64(labels[v]) != val {
+			t.Fatalf("vertex %d: trace final %d, result %d", v, val, labels[v])
+		}
+	}
+}

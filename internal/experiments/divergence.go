@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"ndgraph/internal/algorithms"
+	"ndgraph/internal/core"
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/gen"
+	"ndgraph/internal/graph"
+	"ndgraph/internal/sched"
+	"ndgraph/internal/trace"
+)
+
+// This file is the execution-path counterpart of the Section V-C variance
+// study: instead of comparing converged *results*, it records the full
+// execution path of two runs of the same nondeterministic configuration
+// and diffs them — reporting where the runs first parted ways, how the
+// divergence frontier evolved per iteration, and the propagation-distance
+// histogram that classifies each diverged update by the paper's
+// happens-before (≺), happens-after (≻), and concurrent (∥) relations.
+
+// divergencePairCap bounds the record-and-diff attempts per algorithm: a
+// racy schedule is not *guaranteed* to diverge on any single pair, so the
+// study retries fresh pairs until it catches one (or gives up and reports
+// the identical pair — itself a meaningful observation at small scales).
+const divergencePairCap = 6
+
+// DivergenceRow is one algorithm's record/diff outcome.
+type DivergenceRow struct {
+	// Algo names the algorithm; Graph names the dataset analog.
+	Algo, Graph string
+	// Threads is the worker count both recorded runs used.
+	Threads int
+	// Pairs is how many recorded pairs were diffed before one diverged
+	// (== divergencePairCap if none did).
+	Pairs int
+	// Report is the canonical diff of the last recorded pair.
+	Report *trace.DiffReport
+}
+
+// traceRecordedRun executes one nondeterministic run of a on g with an
+// attached recorder and returns the snapshot trace.
+func traceRecordedRun(a algorithms.Algorithm, g *graph.Graph, threads int, meta trace.Meta) (*trace.Trace, error) {
+	rec := trace.NewRecorder(1 << 21)
+	_, res, err := algorithms.Run(a, g, core.Options{
+		Scheduler: sched.Nondeterministic,
+		Threads:   threads,
+		Mode:      edgedata.ModeAtomic,
+		Amplify:   true,
+		Trace:     rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("experiments: divergence run did not converge")
+	}
+	return rec.Snapshot(meta), nil
+}
+
+// DivergenceStudy records pairs of nondeterministic runs (threads=4,
+// amplified, atomic edge data) of PageRank and WCC on the web-google
+// analog and diffs each pair's execution paths. When cfg.TracePath is set,
+// the last recorded pair is saved as TracePath-a.ndt / TracePath-b.ndt for
+// offline inspection with ndtrace.
+func DivergenceStudy(cfg Config) ([]DivergenceRow, error) {
+	cfg.validate()
+	g, err := gen.Synthesize(gen.WebGoogle, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	meta := trace.Meta{Vertices: g.N(), Edges: g.M()}
+	const threads = 4
+	mk := map[string]func() algorithms.Algorithm{
+		"pagerank": func() algorithms.Algorithm { return algorithms.NewPageRank(1e-3) },
+		"wcc":      func() algorithms.Algorithm { return algorithms.NewWCC() },
+	}
+	rows := make([]DivergenceRow, 0, len(mk))
+	for _, name := range []string{"pagerank", "wcc"} {
+		row := DivergenceRow{Algo: name, Graph: gen.WebGoogle.String(), Threads: threads}
+		var a, b *trace.Trace
+		for row.Pairs = 1; row.Pairs <= divergencePairCap; row.Pairs++ {
+			if a, err = traceRecordedRun(mk[name](), g, threads, meta); err != nil {
+				return nil, err
+			}
+			if b, err = traceRecordedRun(mk[name](), g, threads, meta); err != nil {
+				return nil, err
+			}
+			row.Report = trace.Diff(a, b)
+			if !row.Report.Identical() {
+				break
+			}
+		}
+		if row.Pairs > divergencePairCap {
+			row.Pairs = divergencePairCap
+		}
+		if cfg.TracePath != "" {
+			for suffix, t := range map[string]*trace.Trace{"-a.ndt": a, "-b.ndt": b} {
+				f, err := os.Create(cfg.TracePath + "-" + name + suffix)
+				if err != nil {
+					return nil, err
+				}
+				if err := trace.WriteBinary(f, t); err != nil {
+					f.Close()
+					return nil, err
+				}
+				if err := f.Close(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

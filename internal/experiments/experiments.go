@@ -40,6 +40,9 @@ type Config struct {
 	// Observer, when non-nil, streams telemetry from the Fig. 3 timing
 	// grid's engine runs (ndbench -telemetry / -telemetry-addr).
 	Observer *obs.Observer
+	// TracePath, when non-empty, makes the divergence study save each
+	// algorithm's recorded run pair as TracePath-<algo>-a.ndt / -b.ndt.
+	TracePath string
 }
 
 // DefaultConfig returns the defaults used by the CLI and benches.

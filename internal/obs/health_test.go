@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func doGet(t *testing.T, h http.Handler, path string) (int, http.Header, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr.Code, rr.Header(), rr.Body.String()
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		o    *Observer
+	}{
+		{"enabled", New(Options{})},
+		{"nil", nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, body := doGet(t, tc.o.Handler(), "/healthz")
+			if code != http.StatusOK {
+				t.Fatalf("/healthz = %d", code)
+			}
+			if strings.TrimSpace(body) != "ok" {
+				t.Fatalf("/healthz body = %q", body)
+			}
+		})
+	}
+}
+
+func TestBuildinfoEndpoint(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		o    *Observer
+	}{
+		{"enabled", New(Options{})},
+		{"nil", nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, hdr, body := doGet(t, tc.o.Handler(), "/buildinfo")
+			if code != http.StatusOK {
+				t.Fatalf("/buildinfo = %d", code)
+			}
+			if ct := hdr.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("/buildinfo Content-Type = %q", ct)
+			}
+			var info map[string]string
+			if err := json.Unmarshal([]byte(body), &info); err != nil {
+				t.Fatalf("/buildinfo is not JSON: %v\n%s", err, body)
+			}
+			if _, ok := info["available"]; !ok {
+				t.Fatalf("/buildinfo lacks the available key: %v", info)
+			}
+			// Under `go test` build info is present, so the identity fields
+			// must be populated.
+			if info["available"] == "true" && info["go_version"] == "" {
+				t.Fatalf("/buildinfo has no go_version: %v", info)
+			}
+		})
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	o := New(Options{})
+	h := o.Handler()
+	if code, _, _ := doGet(t, h, "/trace"); code != http.StatusNotFound {
+		t.Fatalf("/trace without a source = %d, want 404", code)
+	}
+	payload := []byte("NDTR-test-payload")
+	o.SetTraceSource(func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	})
+	code, hdr, body := doGet(t, h, "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/trace with a source = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("/trace Content-Type = %q", ct)
+	}
+	if !strings.Contains(hdr.Get("Content-Disposition"), "run.ndt") {
+		t.Fatalf("/trace Content-Disposition = %q", hdr.Get("Content-Disposition"))
+	}
+	if body != string(payload) {
+		t.Fatalf("/trace body = %q", body)
+	}
+	o.SetTraceSource(nil)
+	if code, _, _ := doGet(t, h, "/trace"); code != http.StatusNotFound {
+		t.Fatalf("/trace after uninstall = %d, want 404", code)
+	}
+}
+
+func TestMetricsIncludeTraceCounters(t *testing.T) {
+	o := New(Options{})
+	o.Emit(Event{Engine: EngineCore, TraceCommits: 7, ContestedCommits: 3})
+	var sb strings.Builder
+	o.WriteMetrics(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		fmt.Sprintf(`ndgraph_trace_commits_total{engine="core"} %d`, 7),
+		fmt.Sprintf(`ndgraph_contested_commits_total{engine="core"} %d`, 3),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

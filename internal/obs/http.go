@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"strconv"
 	"time"
 )
@@ -59,25 +60,111 @@ func (o *Observer) WriteMetrics(w io.Writer) {
 		func(s EngineStats) int64 { return s.Duplicates })
 	counter("ndgraph_dropped_messages_total", "Distributed deliveries lost and retransmitted.",
 		func(s EngineStats) int64 { return s.Drops })
+	counter("ndgraph_trace_commits_total", "Edge commits recorded by the execution-path trace.",
+		func(s EngineStats) int64 { return s.TraceCommits })
+	counter("ndgraph_contested_commits_total", "Trace-recorded commits to an edge already committed in the same iteration (racy-winner sites).",
+		func(s EngineStats) int64 { return s.ContestedCommits })
 	gauge("ndgraph_scheduled_last", "Scheduled-set size of the most recent sample.",
 		func(s EngineStats) string { return strconv.FormatInt(s.Scheduled, 10) })
 	gauge("ndgraph_residual_last", "Convergence residual (active fraction) of the most recent sample.",
 		func(s EngineStats) string { return strconv.FormatFloat(s.Residual, 'g', 6, 64) })
 }
 
+// SetTraceSource installs the /trace endpoint's payload producer: a
+// function that writes the current execution-path trace (conventionally
+// the NDTR binary format) to w. Passing nil uninstalls it (the endpoint
+// then serves 404). Safe on nil (no-op).
+func (o *Observer) SetTraceSource(fn func(w io.Writer) error) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.traceSource = fn
+	o.mu.Unlock()
+}
+
+func (o *Observer) traceSourceFn() func(io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.traceSource
+}
+
+// buildInfo renders the binary's build identity from
+// runtime/debug.ReadBuildInfo as JSON: Go version, module path/version,
+// and the VCS revision stamped by the toolchain when available.
+func buildInfo() map[string]string {
+	out := map[string]string{"available": "false"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out["available"] = "true"
+	out["go_version"] = bi.GoVersion
+	out["path"] = bi.Path
+	out["module"] = bi.Main.Path
+	out["module_version"] = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision", "vcs.time", "vcs.modified":
+			out[s.Key] = s.Value
+		}
+	}
+	return out
+}
+
+// registerHealth wires the endpoints that must answer whether or not
+// telemetry is enabled: /healthz (liveness) and /buildinfo (binary
+// identity).
+func registerHealth(mux *http.ServeMux) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(buildInfo())
+	})
+}
+
 // Handler returns the observability endpoint: /metrics (Prometheus text),
-// /events (the ring buffer as JSON), /debug/vars (expvar), and
-// /debug/pprof (the standard profiling suite). Workers of labeled pools
-// carry pprof goroutine labels, so /debug/pprof/profile attributes CPU
-// time to engines. Safe on nil (a handler that serves 503).
+// /events (the ring buffer as JSON), /healthz, /buildinfo, /trace (the
+// current execution-path trace, when a source is installed), /debug/vars
+// (expvar), and /debug/pprof (the standard profiling suite). Workers of
+// labeled pools carry pprof goroutine labels, so /debug/pprof/profile
+// attributes CPU time to engines. Safe on nil (a handler that serves 503
+// for everything except /healthz and /buildinfo).
 func (o *Observer) Handler() http.Handler {
 	mux := http.NewServeMux()
+	registerHealth(mux)
 	if o == nil {
 		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "observability disabled", http.StatusServiceUnavailable)
 		})
 		return mux
 	}
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		fn := o.traceSourceFn()
+		if fn == nil {
+			http.Error(w, "no trace source installed", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="run.ndt"`)
+		if err := fn(w); err != nil {
+			// Headers are already out; the best we can do is cut the
+			// connection so the client sees a short read, not a valid file.
+			if hj, ok := w.(http.Hijacker); ok {
+				if conn, _, err := hj.Hijack(); err == nil {
+					conn.Close()
+				}
+			}
+		}
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		o.WriteMetrics(w)

@@ -30,6 +30,7 @@
 package obs
 
 import (
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -118,6 +119,12 @@ type Event struct {
 	// injected duplicates, lossy-link retransmissions) for the sample;
 	// zero for every other engine.
 	Messages, Duplicates, Drops int64
+	// TraceCommits and ContestedCommits are execution-path trace deltas
+	// for the sample, present when a commit-logging trace recorder is
+	// attached: edge commits recorded, and commits to an edge already
+	// committed in the same iteration — the racy-winner sites under
+	// nondeterministic execution. Zero when tracing is off.
+	TraceCommits, ContestedCommits int64
 }
 
 // engineCounters aggregates one engine's events. All fields are atomics so
@@ -136,6 +143,8 @@ type engineCounters struct {
 	messages    atomic.Int64
 	duplicates  atomic.Int64
 	drops       atomic.Int64
+	traceCommit atomic.Int64
+	contested   atomic.Int64
 	scheduled   atomic.Int64  // last sample's value (gauge)
 	residual    atomic.Uint64 // last sample's value (float64 bits, gauge)
 }
@@ -168,6 +177,9 @@ type Observer struct {
 	ring  []Event
 	seq   uint64 // events ever emitted (ring head = seq % len)
 	sinks []Sink
+	// traceSource, when installed via SetTraceSource, serves the /trace
+	// download endpoint.
+	traceSource func(io.Writer) error
 }
 
 // New builds an Observer.
@@ -219,6 +231,8 @@ func (o *Observer) Emit(ev Event) {
 	c.messages.Add(ev.Messages)
 	c.duplicates.Add(ev.Duplicates)
 	c.drops.Add(ev.Drops)
+	c.traceCommit.Add(ev.TraceCommits)
+	c.contested.Add(ev.ContestedCommits)
 	c.scheduled.Store(ev.Scheduled)
 	c.residual.Store(floatBits(ev.Residual))
 
@@ -293,21 +307,23 @@ func (o *Observer) Events() []Event {
 // EngineStats is a point-in-time summary of one engine's accumulated
 // telemetry, as rendered by /metrics and the expvar export.
 type EngineStats struct {
-	Engine      string  `json:"engine"`
-	Samples     int64   `json:"samples"`
-	Iterations  int64   `json:"iterations"`
-	Updates     int64   `json:"updates"`
-	EdgeReads   int64   `json:"edge_reads"`
-	EdgeWrites  int64   `json:"edge_writes"`
-	RWConflicts int64   `json:"rw_conflicts"`
-	WWConflicts int64   `json:"ww_conflicts"`
-	BarrierWait int64   `json:"barrier_wait_ns"`
-	Duration    int64   `json:"duration_ns"`
-	Messages    int64   `json:"messages"`
-	Duplicates  int64   `json:"duplicates"`
-	Drops       int64   `json:"drops"`
-	Scheduled   int64   `json:"scheduled_last"`
-	Residual    float64 `json:"residual_last"`
+	Engine           string  `json:"engine"`
+	Samples          int64   `json:"samples"`
+	Iterations       int64   `json:"iterations"`
+	Updates          int64   `json:"updates"`
+	EdgeReads        int64   `json:"edge_reads"`
+	EdgeWrites       int64   `json:"edge_writes"`
+	RWConflicts      int64   `json:"rw_conflicts"`
+	WWConflicts      int64   `json:"ww_conflicts"`
+	BarrierWait      int64   `json:"barrier_wait_ns"`
+	Duration         int64   `json:"duration_ns"`
+	Messages         int64   `json:"messages"`
+	Duplicates       int64   `json:"duplicates"`
+	Drops            int64   `json:"drops"`
+	TraceCommits     int64   `json:"trace_commits"`
+	ContestedCommits int64   `json:"contested_commits"`
+	Scheduled        int64   `json:"scheduled_last"`
+	Residual         float64 `json:"residual_last"`
 }
 
 // Stats snapshots the accumulated counters for every engine kind, in label
@@ -320,21 +336,23 @@ func (o *Observer) Stats() []EngineStats {
 	for k := range o.counters {
 		c := &o.counters[k]
 		out[k] = EngineStats{
-			Engine:      EngineKind(k).String(),
-			Samples:     c.samples.Load(),
-			Iterations:  c.iterations.Load(),
-			Updates:     c.updates.Load(),
-			EdgeReads:   c.edgeReads.Load(),
-			EdgeWrites:  c.edgeWrites.Load(),
-			RWConflicts: c.rwConflicts.Load(),
-			WWConflicts: c.wwConflicts.Load(),
-			BarrierWait: c.barrierWait.Load(),
-			Duration:    c.duration.Load(),
-			Messages:    c.messages.Load(),
-			Duplicates:  c.duplicates.Load(),
-			Drops:       c.drops.Load(),
-			Scheduled:   c.scheduled.Load(),
-			Residual:    floatFromBits(c.residual.Load()),
+			Engine:           EngineKind(k).String(),
+			Samples:          c.samples.Load(),
+			Iterations:       c.iterations.Load(),
+			Updates:          c.updates.Load(),
+			EdgeReads:        c.edgeReads.Load(),
+			EdgeWrites:       c.edgeWrites.Load(),
+			RWConflicts:      c.rwConflicts.Load(),
+			WWConflicts:      c.wwConflicts.Load(),
+			BarrierWait:      c.barrierWait.Load(),
+			Duration:         c.duration.Load(),
+			Messages:         c.messages.Load(),
+			Duplicates:       c.duplicates.Load(),
+			Drops:            c.drops.Load(),
+			TraceCommits:     c.traceCommit.Load(),
+			ContestedCommits: c.contested.Load(),
+			Scheduled:        c.scheduled.Load(),
+			Residual:         floatFromBits(c.residual.Load()),
 		}
 	}
 	return out

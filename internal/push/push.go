@@ -31,6 +31,7 @@ import (
 	"ndgraph/internal/graph"
 	"ndgraph/internal/obs"
 	"ndgraph/internal/sched"
+	"ndgraph/internal/trace"
 )
 
 // Mode selects the push combine discipline.
@@ -91,6 +92,11 @@ type Engine struct {
 	// observer, when non-nil, receives one event per iteration; set with
 	// Observe before Run.
 	observer *obs.Observer
+
+	// trace, when non-nil, records one event per relaxed source vertex
+	// (iteration, worker, vertex, win count, source value); set with Trace
+	// before Run.
+	trace *trace.Recorder
 }
 
 // NewEngine builds a push engine. threads < 1 defaults to GOMAXPROCS;
@@ -126,6 +132,13 @@ func (e *Engine) Observe(o *obs.Observer) {
 	}
 }
 
+// Trace attaches an execution-path recorder: each relaxed source vertex
+// records one event whose Writes field counts winning pushes and whose
+// Value is the source's data word at relax time. Call before Run; nil
+// detaches. Push mode has no per-edge commit log — the racy state is the
+// destination vertex word, which the recorded wins describe.
+func (e *Engine) Trace(rec *trace.Recorder) { e.trace = rec }
+
 // Frontier exposes the scheduled set for seeding.
 func (e *Engine) Frontier() *frontier.Frontier { return e.front }
 
@@ -153,18 +166,27 @@ func (e *Engine) Run(r Relax) (Result, error) {
 		e.pool.SetTimed(e.observer.Enabled())
 	}
 	// One relax closure for the whole run, so the per-iteration dispatch
-	// through the pool performs no allocation.
-	relax := func(_ int, vi int) {
+	// through the pool performs no allocation. curIter is written only at
+	// the barrier between dispatches.
+	curIter := 0
+	relax := func(worker, vi int) {
 		v := uint32(vi)
 		srcVal := e.load(v)
 		lo, _ := e.g.OutEdgeIndex(v)
+		uWins := 0
 		for k, u := range e.g.OutNeighbors(v) {
 			cand := r.Message(srcVal, lo+uint32(k))
 			pushes.Add(1)
 			if e.combine(u, cand, r.Better) {
-				wins.Add(1)
+				uWins++
 				e.front.Schedule(int(u))
 			}
+		}
+		if uWins > 0 {
+			wins.Add(int64(uWins))
+		}
+		if t := e.trace; t != nil {
+			t.Record(curIter, worker, v, uWins, srcVal)
 		}
 	}
 	start := time.Now()
@@ -173,6 +195,7 @@ func (e *Engine) Run(r Relax) (Result, error) {
 			res.Converged = false
 			break
 		}
+		curIter = res.Iterations
 		members := e.front.Members()
 		prevPushes, prevWins := pushes.Load(), wins.Load()
 		e.pool.RunBlocks(members, relax)

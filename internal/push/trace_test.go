@@ -1,0 +1,57 @@
+package push
+
+import (
+	"testing"
+
+	"ndgraph/internal/gen"
+	"ndgraph/internal/trace"
+)
+
+// The push engine records one trace event per relaxed source vertex; the
+// event's Writes field counts winning pushes, so the trace's write total
+// must equal the run's win total.
+func TestPushTraceRecordsRelaxations(t *testing.T) {
+	g, err := gen.RMAT(300, 1800, gen.DefaultRMAT, 83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := g.Undirected()
+	e, err := NewEngine(u, ModeCAS, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	rec := trace.NewRecorder(1 << 18)
+	e.Trace(rec)
+	for v := range e.Vertices {
+		e.Vertices[v] = uint64(v)
+	}
+	e.Frontier().ScheduleAll()
+	res, err := e.Run(Relax{
+		Message: func(srcVal uint64, _ uint32) uint64 { return srcVal },
+		Better:  func(c, cur uint64) bool { return c < cur },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if rec.Total() == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	var wins int64
+	maxIter := int32(-1)
+	for _, ev := range rec.Events() {
+		wins += int64(ev.Writes)
+		if ev.Iteration > maxIter {
+			maxIter = ev.Iteration
+		}
+	}
+	if wins != res.Wins {
+		t.Fatalf("trace counted %d wins, run reported %d", wins, res.Wins)
+	}
+	if int(maxIter) != res.Iterations-1 {
+		t.Fatalf("trace saw max iteration %d, run did %d iterations", maxIter, res.Iterations)
+	}
+}

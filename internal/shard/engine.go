@@ -14,6 +14,7 @@ import (
 	"ndgraph/internal/frontier"
 	"ndgraph/internal/obs"
 	"ndgraph/internal/sched"
+	"ndgraph/internal/trace"
 )
 
 // Options configures a PSW execution.
@@ -37,6 +38,11 @@ type Options struct {
 	// Observer, when non-nil, receives one telemetry event per full pass
 	// over the intervals (the PSW analog of an iteration).
 	Observer *obs.Observer
+	// Trace, when non-nil, records one event per executed update (pass,
+	// worker, vertex, write count, committed vertex value). PSW runs record
+	// update events only, never edge commits: window-slot ids are not
+	// stable across iterations, so shard traces diff but do not replay.
+	Trace *trace.Recorder
 }
 
 // Result reports a PSW run.
@@ -206,6 +212,7 @@ func (e *Engine) Run(update core.UpdateFunc) (Result, error) {
 			res.BytesRead += sub.bytesRead
 			e.curSub.Store(sub)
 
+			iter := res.Iterations
 			run := func(worker, v int) {
 				if e.panicked.Load() != nil {
 					return
@@ -218,6 +225,9 @@ func (e *Engine) Run(update core.UpdateFunc) (Result, error) {
 				view := &sub.views[worker]
 				view.bind(uint32(v))
 				update(view)
+				if t := e.opts.Trace; t != nil {
+					t.Record(iter, worker, uint32(v), view.uWrites, e.st.Vertices[v])
+				}
 			}
 			e.pool.RunBlocks(scheduled, run)
 			e.curSub.Store(nil)
@@ -411,11 +421,15 @@ type shardView struct {
 	// nReads/nWrites count window-slot accesses for the observer;
 	// worker-private, banked on the engine after each interval dispatch.
 	nReads, nWrites int64
+	// uWrites counts the bound update's writes for the execution-path
+	// trace.
+	uWrites int
 }
 
 func (c *shardView) bind(v uint32) {
 	c.v = v
 	c.lv = v - c.sub.interval.Lo
+	c.uWrites = 0
 }
 
 func (c *shardView) V() uint32                { return c.v }
@@ -445,12 +459,14 @@ func (c *shardView) OutEdgeVal(k int) uint64 {
 
 func (c *shardView) SetInEdgeVal(k int, w uint64) {
 	c.nWrites++
+	c.uWrites++
 	c.sub.store.Store(c.sub.inSlot[c.lv][k], w)
 	c.sub.eng.front.Schedule(int(c.sub.inSrc[c.lv][k]))
 }
 
 func (c *shardView) SetOutEdgeVal(k int, w uint64) {
 	c.nWrites++
+	c.uWrites++
 	c.sub.store.Store(c.sub.outSlot[c.lv][k], w)
 	c.sub.eng.front.Schedule(int(c.sub.outDst[c.lv][k]))
 }

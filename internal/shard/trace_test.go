@@ -1,0 +1,40 @@
+package shard
+
+import (
+	"testing"
+
+	"ndgraph/internal/algorithms"
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/trace"
+)
+
+// The out-of-core engine records one trace event per executed update. Shard
+// traces are diffable (events only) but not replayable — window slot ids are
+// not canonical edge ids across interval loads.
+func TestShardTraceRecordsUpdates(t *testing.T) {
+	g := rmatGraph(t, 59)
+	st := buildStorage(t, g, 4)
+	initWCC(t, st)
+	rec := trace.NewRecorder(1 << 18)
+	e, err := NewEngine(st, Options{Threads: 4, Mode: edgedata.ModeAtomic, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Frontier().ScheduleAll()
+	res, err := e.Run(minLabel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if rec.Total() != res.Updates {
+		t.Fatalf("trace recorded %d events for %d updates", rec.Total(), res.Updates)
+	}
+	want := algorithms.ReferenceWCC(g)
+	for v := range want {
+		if uint32(st.Vertices[v]) != want[v] {
+			t.Fatalf("vertex %d = %d, want %d", v, st.Vertices[v], want[v])
+		}
+	}
+}

@@ -1,0 +1,466 @@
+// Binary trace format ("NDTR"): a compact, CRC-framed container for a
+// recorded execution path. Layout:
+//
+//	magic "NDTR" | version u16 (little-endian)
+//	frame*       | each: type u8 | payloadLen u32 | payload | crc32(type..payload)
+//
+// Frame types:
+//
+//	meta    — vertex/edge counts plus sorted key/value string pairs
+//	          (algorithm, dataset, seed, mode, ... — whatever the caller
+//	          needs to reconstruct the run for replay)
+//	events  — a batch of events, uvarint-packed; capture order is implied
+//	          by position, so Seq is not stored
+//	commits — a batch of edge commits, uvarint-packed; commit order implied
+//	footer  — totals (including dropped records), truncation flags, digest
+//
+// The writer streams events in bounded batches (one reused scratch buffer),
+// so writing a multi-gigabyte trace needs memory proportional to the batch
+// size, not the trace. The reader bounds-checks every declared length
+// against hard caps before allocating, so a corrupt or adversarial file
+// cannot OOM the process, and verifies every frame CRC.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+)
+
+const (
+	binaryMagic   = "NDTR"
+	binaryVersion = 1
+
+	frameMeta    = 1
+	frameEvents  = 2
+	frameCommits = 3
+	frameFooter  = 4
+
+	// eventBatch is the number of events or commits per frame; bounds
+	// writer memory and reader allocation granularity.
+	eventBatch = 16384
+
+	// maxFramePayload caps a single frame's declared payload (64 MiB);
+	// larger declarations are rejected as corrupt.
+	maxFramePayload = 1 << 26
+
+	// maxTraceRecords caps the cumulative event/commit count a reader will
+	// materialize from one file.
+	maxTraceRecords = 1 << 28
+)
+
+// Meta identifies the recorded run.
+type Meta struct {
+	// Vertices and Edges are the graph dimensions (0 when unknown).
+	Vertices int
+	Edges    int
+	// KV holds free-form run parameters (algorithm, dataset, seed, mode,
+	// threads, ...) used by `ndtrace replay` to reconstruct the run.
+	KV map[string]string
+}
+
+// Trace is a fully materialized trace: what a Recorder captured plus the
+// run metadata, in a form that can be written, read, diffed, and replayed.
+type Trace struct {
+	Meta    Meta
+	Events  []Event
+	Commits []Commit
+
+	// TotalEvents / TotalCommits include records dropped for capacity;
+	// Truncated() compares them against the retained slices.
+	TotalEvents  int64
+	TotalCommits int64
+
+	// Digest is the recorded run's final-state digest (DigestWords over
+	// vertices then the edge snapshot); HasDigest reports whether the run
+	// installed one.
+	Digest    uint64
+	HasDigest bool
+}
+
+// Truncated reports whether the trace dropped events or commits.
+func (t *Trace) Truncated() bool {
+	return t.TotalEvents > int64(len(t.Events)) || t.TotalCommits > int64(len(t.Commits))
+}
+
+// Snapshot copies the recorder's retained state into a standalone Trace.
+func (r *Recorder) Snapshot(meta Meta) *Trace {
+	t := &Trace{
+		Meta:         meta,
+		Events:       append([]Event(nil), r.Events()...),
+		Commits:      append([]Commit(nil), r.Commits()...),
+		TotalEvents:  r.Total(),
+		TotalCommits: r.TotalCommits(),
+	}
+	t.Digest, t.HasDigest = r.Digest()
+	return t
+}
+
+type frameWriter struct {
+	w       *bufio.Writer
+	scratch []byte
+	head    [5]byte
+}
+
+func (fw *frameWriter) writeFrame(typ byte, payload []byte) error {
+	fw.head[0] = typ
+	binary.LittleEndian.PutUint32(fw.head[1:], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(fw.head[:])
+	crc.Write(payload)
+	if _, err := fw.w.Write(fw.head[:]); err != nil {
+		return err
+	}
+	if _, err := fw.w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	_, err := fw.w.Write(sum[:])
+	return err
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// WriteBinary writes t in the NDTR binary format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	var ver [2]byte
+	binary.LittleEndian.PutUint16(ver[:], binaryVersion)
+	if _, err := bw.Write(ver[:]); err != nil {
+		return err
+	}
+	fw := &frameWriter{w: bw, scratch: make([]byte, 0, 1<<16)}
+
+	// Meta frame.
+	b := fw.scratch[:0]
+	b = appendUvarint(b, uint64(t.Meta.Vertices))
+	b = appendUvarint(b, uint64(t.Meta.Edges))
+	keys := make([]string, 0, len(t.Meta.KV))
+	for k := range t.Meta.KV {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b = appendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		b = appendString(b, k)
+		b = appendString(b, t.Meta.KV[k])
+	}
+	if err := fw.writeFrame(frameMeta, b); err != nil {
+		return err
+	}
+
+	// Event frames, batched.
+	for off := 0; off < len(t.Events); off += eventBatch {
+		end := off + eventBatch
+		if end > len(t.Events) {
+			end = len(t.Events)
+		}
+		batch := t.Events[off:end]
+		b = fw.scratch[:0]
+		b = appendUvarint(b, uint64(len(batch)))
+		for _, e := range batch {
+			b = appendUvarint(b, uint64(uint32(e.Iteration)))
+			b = appendUvarint(b, uint64(uint32(e.Worker)))
+			b = appendUvarint(b, uint64(e.Vertex))
+			b = appendUvarint(b, uint64(e.Writes))
+			b = appendUvarint(b, e.Value)
+		}
+		fw.scratch = b[:0]
+		if err := fw.writeFrame(frameEvents, b); err != nil {
+			return err
+		}
+	}
+
+	// Commit frames, batched.
+	for off := 0; off < len(t.Commits); off += eventBatch {
+		end := off + eventBatch
+		if end > len(t.Commits) {
+			end = len(t.Commits)
+		}
+		batch := t.Commits[off:end]
+		b = fw.scratch[:0]
+		b = appendUvarint(b, uint64(len(batch)))
+		for _, c := range batch {
+			b = appendUvarint(b, uint64(c.Edge))
+			b = appendUvarint(b, uint64(uint32(c.Iteration)))
+			// Update is -1 for orphan commits; bias by one so it packs as
+			// a uvarint.
+			b = appendUvarint(b, uint64(c.Update+1))
+			b = appendUvarint(b, c.Value)
+		}
+		fw.scratch = b[:0]
+		if err := fw.writeFrame(frameCommits, b); err != nil {
+			return err
+		}
+	}
+
+	// Footer.
+	b = fw.scratch[:0]
+	b = appendUvarint(b, uint64(t.TotalEvents))
+	b = appendUvarint(b, uint64(t.TotalCommits))
+	var flags uint64
+	if t.HasDigest {
+		flags |= 1
+	}
+	b = appendUvarint(b, flags)
+	b = binary.LittleEndian.AppendUint64(b, t.Digest)
+	if err := fw.writeFrame(frameFooter, b); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ErrCorruptTrace wraps all structural decode failures.
+var ErrCorruptTrace = errors.New("trace: corrupt binary trace")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptTrace, fmt.Sprintf(format, args...))
+}
+
+type payloadReader struct {
+	b   []byte
+	off int
+}
+
+func (p *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(p.b[p.off:])
+	if n <= 0 {
+		return 0, corruptf("bad uvarint at payload offset %d", p.off)
+	}
+	p.off += n
+	return v, nil
+}
+
+func (p *payloadReader) str(maxLen int) (string, error) {
+	n, err := p.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(maxLen) || p.off+int(n) > len(p.b) {
+		return "", corruptf("string length %d out of bounds", n)
+	}
+	s := string(p.b[p.off : p.off+int(n)])
+	p.off += int(n)
+	return s, nil
+}
+
+// ReadBinary parses an NDTR trace. Every frame CRC is verified and all
+// declared lengths are bounds-checked before allocation.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, 6)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, corruptf("short header: %v", err)
+	}
+	if string(head[:4]) != binaryMagic {
+		return nil, corruptf("bad magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:]); v != binaryVersion {
+		return nil, corruptf("unsupported version %d", v)
+	}
+
+	t := &Trace{Meta: Meta{KV: map[string]string{}}}
+	var sawMeta, sawFooter bool
+	frame := make([]byte, 0, 1<<16)
+	var fh [5]byte
+	for {
+		_, err := io.ReadFull(br, fh[:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, corruptf("short frame header: %v", err)
+		}
+		typ := fh[0]
+		plen := binary.LittleEndian.Uint32(fh[1:])
+		if plen > maxFramePayload {
+			return nil, corruptf("frame payload %d exceeds cap", plen)
+		}
+		if cap(frame) < int(plen) {
+			frame = make([]byte, plen)
+		}
+		frame = frame[:plen]
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return nil, corruptf("short frame payload: %v", err)
+		}
+		var sum [4]byte
+		if _, err := io.ReadFull(br, sum[:]); err != nil {
+			return nil, corruptf("short frame crc: %v", err)
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(fh[:])
+		crc.Write(frame)
+		if crc.Sum32() != binary.LittleEndian.Uint32(sum[:]) {
+			return nil, corruptf("frame type %d crc mismatch", typ)
+		}
+		if sawFooter {
+			return nil, corruptf("frame after footer")
+		}
+
+		p := &payloadReader{b: frame}
+		switch typ {
+		case frameMeta:
+			if sawMeta {
+				return nil, corruptf("duplicate meta frame")
+			}
+			sawMeta = true
+			n, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			m, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if n > maxTraceRecords || m > maxTraceRecords*16 {
+				return nil, corruptf("meta dimensions %d/%d exceed cap", n, m)
+			}
+			t.Meta.Vertices, t.Meta.Edges = int(n), int(m)
+			pairs, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if pairs > 4096 {
+				return nil, corruptf("meta kv count %d exceeds cap", pairs)
+			}
+			for i := uint64(0); i < pairs; i++ {
+				k, err := p.str(1 << 12)
+				if err != nil {
+					return nil, err
+				}
+				v, err := p.str(1 << 16)
+				if err != nil {
+					return nil, err
+				}
+				t.Meta.KV[k] = v
+			}
+		case frameEvents:
+			count, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if count > maxFramePayload || int64(len(t.Events))+int64(count) > maxTraceRecords {
+				return nil, corruptf("event count overflows cap")
+			}
+			for i := uint64(0); i < count; i++ {
+				var e Event
+				it, err := p.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				wk, err := p.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				vx, err := p.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				wr, err := p.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				val, err := p.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if vx > 1<<32-1 || wr > 1<<32-1 || it > 1<<32-1 || wk > 1<<32-1 {
+					return nil, corruptf("event field out of range")
+				}
+				e.Iteration = int32(uint32(it))
+				e.Worker = int32(uint32(wk))
+				e.Vertex = uint32(vx)
+				e.Writes = uint32(wr)
+				e.Value = val
+				e.Seq = int64(len(t.Events))
+				t.Events = append(t.Events, e)
+			}
+		case frameCommits:
+			count, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if count > maxFramePayload || int64(len(t.Commits))+int64(count) > maxTraceRecords {
+				return nil, corruptf("commit count overflows cap")
+			}
+			for i := uint64(0); i < count; i++ {
+				var c Commit
+				eg, err := p.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				it, err := p.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				up, err := p.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				val, err := p.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if eg > 1<<32-1 || it > 1<<32-1 {
+					return nil, corruptf("commit field out of range")
+				}
+				c.Edge = uint32(eg)
+				c.Iteration = int32(uint32(it))
+				c.Update = int64(up) - 1
+				c.Value = val
+				c.Seq = int64(len(t.Commits))
+				t.Commits = append(t.Commits, c)
+			}
+		case frameFooter:
+			sawFooter = true
+			te, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			tc, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			flags, err := p.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if p.off+8 > len(p.b) {
+				return nil, corruptf("footer digest missing")
+			}
+			t.TotalEvents = int64(te)
+			t.TotalCommits = int64(tc)
+			t.HasDigest = flags&1 != 0
+			t.Digest = binary.LittleEndian.Uint64(p.b[p.off:])
+		default:
+			return nil, corruptf("unknown frame type %d", typ)
+		}
+	}
+	if !sawMeta || !sawFooter {
+		return nil, corruptf("missing meta or footer frame")
+	}
+	if t.TotalEvents < int64(len(t.Events)) || t.TotalCommits < int64(len(t.Commits)) {
+		return nil, corruptf("footer totals below retained counts")
+	}
+	return t, nil
+}
+
+// WriteCSV emits the trace's events as CSV, same shape as Recorder.WriteCSV.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	return writeCSV(w, t.Events, t.TotalEvents > int64(len(t.Events)), len(t.Events), t.TotalEvents)
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	r := NewRecorder(1 << 16)
+	r.EnableCommits(1<<16, 64)
+	for i := 0; i < 20000; i++ { // spans multiple event frames
+		r.Record(i/1000, i%4, uint32(i%500), 2, uint64(i)*3)
+	}
+	for i := 0; i < 100; i++ {
+		r.RecordCommit(int64(i), i/10, uint32(i%64), uint64(i)<<8)
+	}
+	r.SetDigest(0xfeedface12345678)
+	return r.Snapshot(Meta{
+		Vertices: 500,
+		Edges:    64,
+		KV:       map[string]string{"algo": "wcc", "seed": "42", "mode": "atomic"},
+	})
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	want := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.Vertices != want.Meta.Vertices || got.Meta.Edges != want.Meta.Edges {
+		t.Fatalf("meta dims = %d/%d", got.Meta.Vertices, got.Meta.Edges)
+	}
+	if len(got.Meta.KV) != 3 || got.Meta.KV["algo"] != "wcc" || got.Meta.KV["seed"] != "42" {
+		t.Fatalf("meta kv = %v", got.Meta.KV)
+	}
+	if len(got.Events) != len(want.Events) || len(got.Commits) != len(want.Commits) {
+		t.Fatalf("counts = %d/%d events, %d/%d commits",
+			len(got.Events), len(want.Events), len(got.Commits), len(want.Commits))
+	}
+	for i := range want.Events {
+		if got.Events[i] != want.Events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got.Events[i], want.Events[i])
+		}
+	}
+	for i := range want.Commits {
+		if got.Commits[i] != want.Commits[i] {
+			t.Fatalf("commit %d = %+v, want %+v", i, got.Commits[i], want.Commits[i])
+		}
+	}
+	if got.TotalEvents != want.TotalEvents || got.TotalCommits != want.TotalCommits {
+		t.Fatalf("totals = %d/%d", got.TotalEvents, got.TotalCommits)
+	}
+	if !got.HasDigest || got.Digest != want.Digest {
+		t.Fatalf("digest = %#x/%v", got.Digest, got.HasDigest)
+	}
+	if got.Truncated() {
+		t.Fatal("round trip reported truncation")
+	}
+}
+
+func TestBinaryOrphanCommitRoundTrip(t *testing.T) {
+	r := NewRecorder(4)
+	r.EnableCommits(4, 4)
+	r.RecordCommit(-1, 0, 1, 5) // orphan: Update = -1 must survive the uvarint bias
+	tr := r.Snapshot(Meta{})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Commits[0].Update != -1 {
+		t.Fatalf("orphan Update = %d, want -1", got.Commits[0].Update)
+	}
+}
+
+func TestBinaryTruncationFlagsSurvive(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Record(0, 0, uint32(i), 0, 0)
+	}
+	tr := r.Snapshot(Meta{})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Truncated() || got.TotalEvents != 5 || len(got.Events) != 2 {
+		t.Fatalf("truncation lost: total=%d retained=%d", got.TotalEvents, len(got.Events))
+	}
+}
+
+func TestBinaryCRCDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip a byte in the middle of the stream (inside some frame payload).
+	raw[len(raw)/2] ^= 0xff
+	if _, err := ReadBinary(bytes.NewReader(raw)); !errors.Is(err, ErrCorruptTrace) {
+		t.Fatalf("corrupted stream accepted: %v", err)
+	}
+}
+
+func TestBinaryRejectsShortFile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, n := range []int{0, 3, 6, len(raw) / 2, len(raw) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(raw[:n])); !errors.Is(err, ErrCorruptTrace) {
+			t.Fatalf("truncated file at %d accepted: %v", n, err)
+		}
+	}
+}
+
+func TestBinaryRejectsBadMagicAndVersion(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("XXXX\x01\x00")); !errors.Is(err, ErrCorruptTrace) {
+		t.Fatalf("bad magic accepted: %v", err)
+	}
+	if _, err := ReadBinary(strings.NewReader("NDTR\xff\x00")); !errors.Is(err, ErrCorruptTrace) {
+		t.Fatalf("bad version accepted: %v", err)
+	}
+}
+
+func TestBinaryRejectsOversizedFrame(t *testing.T) {
+	// Hand-build a header plus a frame declaring a payload over the cap;
+	// the reader must reject it before allocating.
+	var buf bytes.Buffer
+	buf.WriteString("NDTR")
+	buf.Write([]byte{1, 0}) // version
+	head := []byte{frameEvents, 0, 0, 0, 0}
+	binary.LittleEndian.PutUint32(head[1:], maxFramePayload+1)
+	buf.Write(head)
+	if _, err := ReadBinary(&buf); !errors.Is(err, ErrCorruptTrace) {
+		t.Fatalf("oversized frame accepted: %v", err)
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	r := NewRecorder(0)
+	tr := r.Snapshot(Meta{Vertices: 1, Edges: 1})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 0 || len(got.Commits) != 0 || got.HasDigest {
+		t.Fatalf("empty trace round trip = %+v", got)
+	}
+}
+
+func TestTraceWriteCSVMatchesRecorder(t *testing.T) {
+	r := NewRecorder(2)
+	r.Record(0, 0, 7, 2, 11)
+	r.Record(1, 3, 9, 0, 12)
+	r.Record(1, 0, 8, 0, 13) // dropped
+	var fromRec, fromTrace strings.Builder
+	if err := r.WriteCSV(&fromRec); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Snapshot(Meta{}).WriteCSV(&fromTrace); err != nil {
+		t.Fatal(err)
+	}
+	if fromRec.String() != fromTrace.String() {
+		t.Fatalf("CSV mismatch:\nrecorder:\n%s\ntrace:\n%s", fromRec.String(), fromTrace.String())
+	}
+}

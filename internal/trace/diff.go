@@ -1,0 +1,398 @@
+// Divergence diagnosis between two recorded runs. Two deterministic runs
+// of the same configuration produce identical traces; two nondeterministic
+// runs may differ in which updates ran, what values they committed, and
+// for how many iterations the difference persisted. Diff canonicalizes
+// both traces per iteration (keyed by vertex label, so racy capture order
+// within an iteration is not itself a divergence) and reports:
+//
+//   - the first divergent update (earliest iteration, smallest vertex),
+//   - the per-iteration divergence frontier (how many updates differ in
+//     each iteration — the "wave" a racy commit propagates), and
+//   - a propagation-distance histogram: every diverged update classified
+//     by its relation to the first divergent update u0 using the paper's
+//     Section II partial orders — ≻ (ordered after u0: a later iteration,
+//     or later in u0's own block), ≺ (ordered before u0 in its block),
+//     ∥ (same iteration, different worker: concurrent with u0) — bucketed
+//     by d = iteration distance from u0.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Relation is an update's partial-order relation to the first divergent
+// update, per the paper's Section II.
+type Relation uint8
+
+const (
+	// RelBefore (≺): ordered before the first divergent update (same
+	// worker block, earlier execution position).
+	RelBefore Relation = iota
+	// RelAfter (≻): ordered after the first divergent update (later
+	// iteration, or same block and later position).
+	RelAfter
+	// RelConcurrent (∥): same iteration, different worker — no order.
+	RelConcurrent
+)
+
+func (r Relation) String() string {
+	switch r {
+	case RelBefore:
+		return "before"
+	case RelAfter:
+		return "after"
+	default:
+		return "concurrent"
+	}
+}
+
+// DiffKind says how a single update diverged.
+type DiffKind uint8
+
+const (
+	// DiffValue: both runs updated the vertex, with different committed
+	// values or write counts.
+	DiffValue DiffKind = iota
+	// DiffOnlyA: the vertex was updated (or updated more times) in run A.
+	DiffOnlyA
+	// DiffOnlyB: the vertex was updated (or updated more times) in run B.
+	DiffOnlyB
+)
+
+func (k DiffKind) String() string {
+	switch k {
+	case DiffValue:
+		return "value"
+	case DiffOnlyA:
+		return "only-a"
+	default:
+		return "only-b"
+	}
+}
+
+// DivergentUpdate identifies one diverged update in canonical order.
+type DivergentUpdate struct {
+	Iteration int32
+	Vertex    uint32
+	Kind      DiffKind
+	// A and B are the runs' first differing events for the vertex in this
+	// iteration; nil on the side that did not update it.
+	A *Event
+	B *Event
+}
+
+// IterDiff is one iteration's divergence frontier.
+type IterDiff struct {
+	Iteration  int32
+	UpdatesA   int
+	UpdatesB   int
+	OnlyA      int // vertices with more updates in A
+	OnlyB      int // vertices with more updates in B
+	ValueDiffs int // vertices updated in both with differing value/writes
+}
+
+// Diverged reports whether this iteration has any divergence.
+func (d IterDiff) Diverged() bool { return d.OnlyA > 0 || d.OnlyB > 0 || d.ValueDiffs > 0 }
+
+// DHist is the propagation-distance histogram: Counts[rel][d] is the
+// number of diverged updates at iteration distance d from the first
+// divergent update, with relation rel to it. The first divergent update
+// itself is not counted.
+type DHist struct {
+	Before     []int64 // ≺, indexed by d (always d = 0)
+	After      []int64 // ≻
+	Concurrent []int64 // ∥ (always d = 0)
+}
+
+// MaxD returns the largest propagation distance with a nonzero bucket,
+// or -1 when the histogram is empty.
+func (h *DHist) MaxD() int {
+	max := -1
+	for _, bs := range [][]int64{h.Before, h.After, h.Concurrent} {
+		for d, c := range bs {
+			if c > 0 && d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+func (h *DHist) add(rel Relation, d int) {
+	grow := func(b []int64) []int64 {
+		for len(b) <= d {
+			b = append(b, 0)
+		}
+		return b
+	}
+	switch rel {
+	case RelBefore:
+		h.Before = grow(h.Before)
+		h.Before[d]++
+	case RelAfter:
+		h.After = grow(h.After)
+		h.After[d]++
+	default:
+		h.Concurrent = grow(h.Concurrent)
+		h.Concurrent[d]++
+	}
+}
+
+// Totals returns the per-relation sums.
+func (h *DHist) Totals() (before, after, concurrent int64) {
+	for _, c := range h.Before {
+		before += c
+	}
+	for _, c := range h.After {
+		after += c
+	}
+	for _, c := range h.Concurrent {
+		concurrent += c
+	}
+	return
+}
+
+// DiffReport is the result of comparing two traces.
+type DiffReport struct {
+	EventsA, EventsB       int64
+	TruncatedA, TruncatedB bool
+
+	// First is the first divergent update in canonical (iteration, vertex)
+	// order; nil when the traces are equivalent.
+	First *DivergentUpdate
+	// Diverged counts diverged updates (including First).
+	Diverged int64
+	// Frontier has one entry per iteration present in either trace, in
+	// iteration order.
+	Frontier []IterDiff
+	// Hist classifies every diverged update after First by relation and
+	// propagation distance.
+	Hist DHist
+}
+
+// Identical reports whether no divergence was found.
+func (r *DiffReport) Identical() bool { return r.First == nil }
+
+// iterKey groups events of one trace by (iteration, vertex); events for
+// one vertex within one iteration keep capture order (non-core engines may
+// update a vertex several times per "iteration" 0).
+type vertexEvents struct {
+	vertex uint32
+	events []*Event
+}
+
+func groupByIter(events []Event) map[int32][]*vertexEvents {
+	perIter := map[int32]map[uint32][]*Event{}
+	for i := range events {
+		e := &events[i]
+		m := perIter[e.Iteration]
+		if m == nil {
+			m = map[uint32][]*Event{}
+			perIter[e.Iteration] = m
+		}
+		m[e.Vertex] = append(m[e.Vertex], e)
+	}
+	out := map[int32][]*vertexEvents{}
+	for it, m := range perIter {
+		vs := make([]*vertexEvents, 0, len(m))
+		for v, evs := range m {
+			vs = append(vs, &vertexEvents{vertex: v, events: evs})
+		}
+		sort.Slice(vs, func(i, j int) bool { return vs[i].vertex < vs[j].vertex })
+		out[it] = vs
+	}
+	return out
+}
+
+// Diff compares two traces canonically and builds the divergence report.
+func Diff(a, b *Trace) *DiffReport {
+	rep := &DiffReport{
+		EventsA:    int64(len(a.Events)),
+		EventsB:    int64(len(b.Events)),
+		TruncatedA: a.Truncated(),
+		TruncatedB: b.Truncated(),
+	}
+	ga, gb := groupByIter(a.Events), groupByIter(b.Events)
+
+	iters := map[int32]struct{}{}
+	for it := range ga {
+		iters[it] = struct{}{}
+	}
+	for it := range gb {
+		iters[it] = struct{}{}
+	}
+	order := make([]int32, 0, len(iters))
+	for it := range iters {
+		order = append(order, it)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	var divergent []DivergentUpdate
+	for _, it := range order {
+		va, vb := ga[it], gb[it]
+		id := IterDiff{Iteration: it}
+		for _, v := range va {
+			id.UpdatesA += len(v.events)
+		}
+		for _, v := range vb {
+			id.UpdatesB += len(v.events)
+		}
+		// Merge-walk the two vertex-sorted lists.
+		i, j := 0, 0
+		for i < len(va) || j < len(vb) {
+			switch {
+			case j >= len(vb) || (i < len(va) && va[i].vertex < vb[j].vertex):
+				id.OnlyA++
+				divergent = append(divergent, DivergentUpdate{
+					Iteration: it, Vertex: va[i].vertex, Kind: DiffOnlyA, A: va[i].events[0],
+				})
+				i++
+			case i >= len(va) || vb[j].vertex < va[i].vertex:
+				id.OnlyB++
+				divergent = append(divergent, DivergentUpdate{
+					Iteration: it, Vertex: vb[j].vertex, Kind: DiffOnlyB, B: vb[j].events[0],
+				})
+				j++
+			default:
+				ea, eb := va[i].events, vb[j].events
+				n := len(ea)
+				if len(eb) < n {
+					n = len(eb)
+				}
+				found := false
+				for k := 0; k < n && !found; k++ {
+					if ea[k].Value != eb[k].Value || ea[k].Writes != eb[k].Writes {
+						id.ValueDiffs++
+						divergent = append(divergent, DivergentUpdate{
+							Iteration: it, Vertex: va[i].vertex, Kind: DiffValue, A: ea[k], B: eb[k],
+						})
+						found = true
+					}
+				}
+				if !found && len(ea) != len(eb) {
+					if len(ea) > len(eb) {
+						id.OnlyA++
+						divergent = append(divergent, DivergentUpdate{
+							Iteration: it, Vertex: va[i].vertex, Kind: DiffOnlyA, A: ea[n], B: eb[n-1],
+						})
+					} else {
+						id.OnlyB++
+						divergent = append(divergent, DivergentUpdate{
+							Iteration: it, Vertex: va[i].vertex, Kind: DiffOnlyB, A: ea[n-1], B: eb[n],
+						})
+					}
+				}
+				i++
+				j++
+			}
+		}
+		rep.Frontier = append(rep.Frontier, id)
+	}
+
+	rep.Diverged = int64(len(divergent))
+	if len(divergent) == 0 {
+		return rep
+	}
+	first := divergent[0]
+	rep.First = &first
+
+	// Classify every later diverged update against u0 = First.
+	e0 := first.A
+	if e0 == nil {
+		e0 = first.B
+	}
+	for _, du := range divergent[1:] {
+		d := int(du.Iteration - first.Iteration)
+		if d > 0 {
+			rep.Hist.add(RelAfter, d)
+			continue
+		}
+		eu := du.A
+		if eu == nil {
+			eu = du.B
+		}
+		if eu == nil || e0 == nil {
+			rep.Hist.add(RelConcurrent, 0)
+			continue
+		}
+		if eu.Worker != e0.Worker {
+			rep.Hist.add(RelConcurrent, 0)
+			continue
+		}
+		// Same worker block: capture order within the block is the
+		// execution order (small-label-first in the core engine).
+		if eu.Seq < e0.Seq {
+			rep.Hist.add(RelBefore, 0)
+		} else {
+			rep.Hist.add(RelAfter, 0)
+		}
+	}
+	return rep
+}
+
+// WriteReport renders the diff report as human-readable text.
+func (r *DiffReport) WriteReport(w io.Writer) error {
+	if r.Identical() {
+		_, err := fmt.Fprintf(w, "traces identical: %d vs %d events, no divergence\n", r.EventsA, r.EventsB)
+		return err
+	}
+	f := r.First
+	side := ""
+	switch f.Kind {
+	case DiffOnlyA:
+		side = " (updated only in run A)"
+	case DiffOnlyB:
+		side = " (updated only in run B)"
+	default:
+		if f.A.Value != f.B.Value {
+			side = fmt.Sprintf(" (A committed %#x, B committed %#x)", f.A.Value, f.B.Value)
+		} else {
+			side = fmt.Sprintf(" (value %#x in both, but A wrote %d edges, B wrote %d)", f.A.Value, f.A.Writes, f.B.Writes)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "first divergence: iteration %d vertex %d%s\n", f.Iteration, f.Vertex, side); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "diverged updates: %d of %d/%d recorded\n", r.Diverged, r.EventsA, r.EventsB); err != nil {
+		return err
+	}
+	if r.TruncatedA || r.TruncatedB {
+		if _, err := fmt.Fprintf(w, "warning: truncated traces (A=%v B=%v); counts are lower bounds\n", r.TruncatedA, r.TruncatedB); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w, "divergence frontier (iteration: onlyA onlyB valueDiffs):"); err != nil {
+		return err
+	}
+	for _, id := range r.Frontier {
+		if !id.Diverged() {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  iter %4d: %6d %6d %6d\n", id.Iteration, id.OnlyA, id.OnlyB, id.ValueDiffs); err != nil {
+			return err
+		}
+	}
+	before, after, conc := r.Hist.Totals()
+	if _, err := fmt.Fprintf(w, "relations to first divergent update: before(≺)=%d after(≻)=%d concurrent(∥)=%d\n", before, after, conc); err != nil {
+		return err
+	}
+	if maxD := r.Hist.MaxD(); maxD >= 0 {
+		if _, err := fmt.Fprintln(w, "propagation-distance histogram (d: before after concurrent):"); err != nil {
+			return err
+		}
+		at := func(b []int64, d int) int64 {
+			if d < len(b) {
+				return b[d]
+			}
+			return 0
+		}
+		for d := 0; d <= maxD; d++ {
+			if _, err := fmt.Fprintf(w, "  d=%4d: %8d %8d %8d\n", d, at(r.Hist.Before, d), at(r.Hist.After, d), at(r.Hist.Concurrent, d)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func traceOf(events ...Event) *Trace {
+	t := &Trace{TotalEvents: int64(len(events))}
+	for i := range events {
+		events[i].Seq = int64(i)
+	}
+	t.Events = events
+	return t
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := traceOf(
+		Event{Iteration: 0, Worker: 0, Vertex: 1, Writes: 2, Value: 10},
+		Event{Iteration: 0, Worker: 1, Vertex: 2, Writes: 1, Value: 20},
+		Event{Iteration: 1, Worker: 0, Vertex: 1, Writes: 0, Value: 11},
+	)
+	// Same updates, racy capture order permuted within the iteration and a
+	// different worker assignment: canonically identical.
+	b := traceOf(
+		Event{Iteration: 0, Worker: 1, Vertex: 2, Writes: 1, Value: 20},
+		Event{Iteration: 0, Worker: 3, Vertex: 1, Writes: 2, Value: 10},
+		Event{Iteration: 1, Worker: 0, Vertex: 1, Writes: 0, Value: 11},
+	)
+	rep := Diff(a, b)
+	if !rep.Identical() || rep.Diverged != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	var sb strings.Builder
+	if err := rep.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "identical") {
+		t.Fatalf("report text: %q", sb.String())
+	}
+}
+
+func TestDiffFirstDivergenceAndFrontier(t *testing.T) {
+	a := traceOf(
+		Event{Iteration: 0, Vertex: 1, Value: 10},
+		Event{Iteration: 0, Vertex: 5, Value: 50},
+		Event{Iteration: 1, Vertex: 1, Value: 11},
+		Event{Iteration: 1, Vertex: 9, Value: 90},
+	)
+	b := traceOf(
+		Event{Iteration: 0, Vertex: 1, Value: 10},
+		Event{Iteration: 0, Vertex: 5, Value: 55}, // value diff → first divergence
+		Event{Iteration: 1, Vertex: 1, Value: 11},
+		Event{Iteration: 1, Vertex: 7, Value: 70}, // only-b
+	)
+	rep := Diff(a, b)
+	if rep.Identical() {
+		t.Fatal("divergence missed")
+	}
+	f := rep.First
+	if f.Iteration != 0 || f.Vertex != 5 || f.Kind != DiffValue {
+		t.Fatalf("first = %+v", f)
+	}
+	if f.A.Value != 50 || f.B.Value != 55 {
+		t.Fatalf("first events = %+v / %+v", f.A, f.B)
+	}
+	// Diverged: (0,5) value, (1,7) only-b, (1,9) only-a.
+	if rep.Diverged != 3 {
+		t.Fatalf("diverged = %d, want 3", rep.Diverged)
+	}
+	if len(rep.Frontier) != 2 {
+		t.Fatalf("frontier = %+v", rep.Frontier)
+	}
+	if it0 := rep.Frontier[0]; it0.ValueDiffs != 1 || it0.OnlyA != 0 || it0.OnlyB != 0 || it0.UpdatesA != 2 || it0.UpdatesB != 2 {
+		t.Fatalf("iter 0 frontier = %+v", it0)
+	}
+	if it1 := rep.Frontier[1]; it1.OnlyA != 1 || it1.OnlyB != 1 || it1.ValueDiffs != 0 {
+		t.Fatalf("iter 1 frontier = %+v", it1)
+	}
+	// Both iter-1 divergences are one iteration after u0: ≻ at d=1.
+	before, after, conc := rep.Hist.Totals()
+	if before != 0 || after != 2 || conc != 0 {
+		t.Fatalf("relations = %d/%d/%d", before, after, conc)
+	}
+	if rep.Hist.MaxD() != 1 || rep.Hist.After[1] != 2 {
+		t.Fatalf("hist = %+v", rep.Hist)
+	}
+	var sb strings.Builder
+	if err := rep.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"first divergence: iteration 0 vertex 5", "d=   1", "after(≻)=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiffRelationsWithinIteration(t *testing.T) {
+	// u0 = (iter 0, vertex 3). Vertex 1 diverges on the same worker with an
+	// earlier capture position (≺); vertex 5 on another worker (∥); vertex
+	// 7 on u0's worker later (≻ at d=0).
+	a := traceOf(
+		Event{Iteration: 0, Worker: 0, Vertex: 7, Value: 1},
+		Event{Iteration: 0, Worker: 0, Vertex: 1, Value: 1},
+		Event{Iteration: 0, Worker: 0, Vertex: 3, Value: 1},
+		Event{Iteration: 0, Worker: 2, Vertex: 5, Value: 1},
+	)
+	b := traceOf(
+		Event{Iteration: 0, Worker: 0, Vertex: 7, Value: 9},
+		Event{Iteration: 0, Worker: 0, Vertex: 1, Value: 9},
+		Event{Iteration: 0, Worker: 0, Vertex: 3, Value: 9},
+		Event{Iteration: 0, Worker: 2, Vertex: 5, Value: 9},
+	)
+	rep := Diff(a, b)
+	if rep.First.Vertex != 1 {
+		t.Fatalf("first = %+v", rep.First)
+	}
+	// Relative to u0 (vertex 1, captured at seq 1 on worker 0):
+	// vertex 3: worker 0, seq 2 > 1 → after; vertex 7: worker 0, seq 0 < 1
+	// → before; vertex 5: worker 2 → concurrent.
+	before, after, conc := rep.Hist.Totals()
+	if before != 1 || after != 1 || conc != 1 {
+		t.Fatalf("relations = %d/%d/%d, want 1/1/1", before, after, conc)
+	}
+	if rep.Hist.MaxD() != 0 {
+		t.Fatalf("maxD = %d", rep.Hist.MaxD())
+	}
+}
+
+func TestDiffRepeatedUpdatesPerVertex(t *testing.T) {
+	// Barrier-free traces: one vertex updated several times in "iteration"
+	// 0. Count mismatch without value mismatch is an only-side divergence.
+	a := traceOf(
+		Event{Iteration: 0, Vertex: 1, Value: 5},
+		Event{Iteration: 0, Vertex: 1, Value: 6},
+	)
+	b := traceOf(
+		Event{Iteration: 0, Vertex: 1, Value: 5},
+	)
+	rep := Diff(a, b)
+	if rep.Identical() || rep.First.Kind != DiffOnlyA || rep.Diverged != 1 {
+		t.Fatalf("report = %+v first=%+v", rep, rep.First)
+	}
+	if rep.Frontier[0].UpdatesA != 2 || rep.Frontier[0].UpdatesB != 1 {
+		t.Fatalf("frontier = %+v", rep.Frontier[0])
+	}
+}
+
+func TestDiffTruncationWarning(t *testing.T) {
+	a := traceOf(Event{Iteration: 0, Vertex: 1, Value: 1})
+	a.TotalEvents = 10 // truncated
+	b := traceOf(Event{Iteration: 0, Vertex: 1, Value: 2})
+	rep := Diff(a, b)
+	if !rep.TruncatedA || rep.TruncatedB {
+		t.Fatalf("truncation flags = %v/%v", rep.TruncatedA, rep.TruncatedB)
+	}
+	var sb strings.Builder
+	if err := rep.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "truncated") {
+		t.Fatalf("report missing truncation warning:\n%s", sb.String())
+	}
+}

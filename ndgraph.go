@@ -326,11 +326,49 @@ var (
 	ServeTelemetry = obs.Serve
 )
 
-// TraceRecorder records execution paths (Options.Trace).
-type TraceRecorder = trace.Recorder
+// Execution-path record/replay and run-divergence diagnosis. A recorder
+// attached to an engine (Options.Trace, AsyncOptions.Trace,
+// ShardOptions.Trace, DistOptions.Trace, or the Trace methods of
+// PushEngine / AutonomousEngine) captures the execution path; with
+// EnableCommits it also logs every racy edge commit, which lets the core
+// engine replay the run to a byte-identical fixed point (Lemmas 1–2 made
+// executable). Traces serialize to the NDTR binary format and diff into a
+// divergence report with a propagation-distance histogram.
+type (
+	// TraceRecorder records execution paths (Options.Trace).
+	TraceRecorder = trace.Recorder
+	// Trace is an immutable recorded run (events, commits, digest).
+	Trace = trace.Trace
+	// TraceMeta carries a trace's provenance (graph dims + KV pairs).
+	TraceMeta = trace.Meta
+	// TraceEvent is one recorded update.
+	TraceEvent = trace.Event
+	// TraceCommit is one recorded racy edge commit.
+	TraceCommit = trace.Commit
+	// TraceDiffReport is the canonical divergence report of two traces.
+	TraceDiffReport = trace.DiffReport
+	// TraceDHist is the propagation-distance histogram, split by the
+	// paper's ≺ / ≻ / ∥ relations.
+	TraceDHist = trace.DHist
+	// ReplayReport summarizes a forced re-execution of a recorded run.
+	ReplayReport = core.ReplayReport
+)
 
-// NewTraceRecorder returns a bounded execution-path recorder.
-var NewTraceRecorder = trace.NewRecorder
+var (
+	// NewTraceRecorder returns a bounded execution-path recorder.
+	NewTraceRecorder = trace.NewRecorder
+	// WriteTrace serializes a trace in the NDTR binary format.
+	WriteTrace = trace.WriteBinary
+	// ReadTrace deserializes an NDTR binary trace.
+	ReadTrace = trace.ReadBinary
+	// DiffTraces computes the canonical divergence report of two traces.
+	DiffTraces = trace.Diff
+	// ErrCorruptTrace is returned by ReadTrace on framing/CRC damage.
+	ErrCorruptTrace = trace.ErrCorruptTrace
+	// ErrReplayDiverged is returned by Engine.ReplayTrace when the forced
+	// replay does not reach the recorded fixed point.
+	ErrReplayDiverged = core.ErrReplayDiverged
+)
 
 // Autonomous (priority-driven) scheduling — the paper's other scheduling
 // category (Section I).

@@ -1,0 +1,120 @@
+package ndgraph_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ndgraph"
+)
+
+// recordTrace runs WCC on a web-scale fixture with a recorder (and commit
+// log) attached and returns the snapshot.
+func recordTrace(t *testing.T, kind ndgraph.Options, withCommits bool) *ndgraph.Trace {
+	t.Helper()
+	g, err := ndgraph.Synthesize(ndgraph.WebGoogle, 800, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ndgraph.NewTraceRecorder(1 << 20)
+	if withCommits {
+		rec.EnableCommits(1<<21, g.M())
+	}
+	kind.Trace = rec
+	_, res, err := ndgraph.Run(ndgraph.NewWCC(), g, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	return rec.Snapshot(ndgraph.TraceMeta{Vertices: g.N(), Edges: g.M()})
+}
+
+// Two deterministic runs of the same configuration diff to an empty report.
+func TestFacadeDeterministicTracesDiffEmpty(t *testing.T) {
+	a := recordTrace(t, ndgraph.Options{Scheduler: ndgraph.Deterministic}, false)
+	b := recordTrace(t, ndgraph.Options{Scheduler: ndgraph.Deterministic}, false)
+	rep := ndgraph.DiffTraces(a, b)
+	if !rep.Identical() {
+		var sb strings.Builder
+		rep.WriteReport(&sb)
+		t.Fatalf("deterministic traces diverge:\n%s", sb.String())
+	}
+}
+
+// Two nondeterministic runs on a web-scale fixture diverge, and the report
+// carries the propagation-distance histogram.
+func TestFacadeNondeterministicTracesDiverge(t *testing.T) {
+	nd := ndgraph.Options{
+		Scheduler: ndgraph.Nondeterministic, Threads: 4,
+		Mode: ndgraph.ModeAtomic, Amplify: true,
+	}
+	var rep *ndgraph.TraceDiffReport
+	// A single racy pair is not guaranteed to diverge; retry a few pairs.
+	for i := 0; i < 6; i++ {
+		a := recordTrace(t, nd, false)
+		b := recordTrace(t, nd, false)
+		rep = ndgraph.DiffTraces(a, b)
+		if !rep.Identical() {
+			break
+		}
+	}
+	if rep.Identical() {
+		t.Skip("no divergence observed in 6 amplified pairs (single-core machine?)")
+	}
+	if rep.First == nil || rep.Diverged == 0 {
+		t.Fatalf("divergent report lacks a first divergence: %+v", rep)
+	}
+	before, after, conc := rep.Hist.Totals()
+	if rep.Diverged > 1 && before+after+conc == 0 {
+		t.Fatalf("d-histogram empty for %d diverged updates", rep.Diverged)
+	}
+	var sb strings.Builder
+	if err := rep.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"first divergence", "divergence frontier", "(≺)", "(≻)", "(∥)"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// A recorded trace round-trips through the NDTR binary format and replays
+// to the recorded fixed point via the facade surface.
+func TestFacadeTraceRoundTripAndReplay(t *testing.T) {
+	nd := ndgraph.Options{
+		Scheduler: ndgraph.Nondeterministic, Threads: 4, Mode: ndgraph.ModeAtomic,
+	}
+	tr := recordTrace(t, nd, true)
+	var buf bytes.Buffer
+	if err := ndgraph.WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ndgraph.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Events) != len(tr.Events) || len(back.Commits) != len(tr.Commits) {
+		t.Fatalf("round trip lost records: %d/%d events, %d/%d commits",
+			len(back.Events), len(tr.Events), len(back.Commits), len(tr.Commits))
+	}
+	g, err := ndgraph.Synthesize(ndgraph.WebGoogle, 800, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ndgraph.NewEngine(g, ndgraph.Options{Scheduler: ndgraph.Deterministic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcc := ndgraph.NewWCC()
+	wcc.Setup(e)
+	rep, err := e.ReplayTrace(back, wcc.Update)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.DigestOK {
+		t.Fatalf("replay digest mismatch: %+v", rep)
+	}
+}

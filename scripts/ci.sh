@@ -21,8 +21,13 @@ go build ./...
 echo "== go test =="
 go test ./...
 
+echo "== go test -shuffle=on (order-independence) =="
+# Shuffled execution order flushes out tests that depend on state leaked by
+# an earlier test in the same package.
+go test -shuffle=on -count=1 ./...
+
 echo "== go test -race (concurrency-heavy packages, short) =="
-go test -race -short ./internal/core/ ./internal/async/ ./internal/dist/ ./internal/fault/ ./internal/shard/
+go test -race -short ./internal/core/ ./internal/async/ ./internal/dist/ ./internal/fault/ ./internal/shard/ ./internal/trace/
 
 echo "== go test -race (cross-engine differential, lock + atomic modes) =="
 # The differential suite pins every executor to the sequential DE fixed

@@ -8,6 +8,7 @@
 //	        -sched nondet -mode arch -threads 8
 //	ndgraph -algo pagerank -graph my-edges.txt -eps 1e-4 -sched det -top 10
 //	ndgraph -algo sssp -dataset cage15 -scale 200 -probe
+//	ndgraph -algo wcc -dataset web-google -scale 100 -advise
 //
 // Input is either -graph FILE (edge list, .bin, or .mtx) or -dataset NAME
 // with -scale (a synthetic analog of one of the paper's graphs).
@@ -23,6 +24,7 @@ import (
 	"ndgraph/internal/algorithms"
 	"ndgraph/internal/core"
 	"ndgraph/internal/edgedata"
+	"ndgraph/internal/eligibility"
 	"ndgraph/internal/gen"
 	"ndgraph/internal/graph"
 	"ndgraph/internal/loader"
@@ -53,6 +55,7 @@ func run(args []string, out io.Writer) error {
 	source := fs.Int("source", -1, "traversal source vertex (-1 = highest out-degree)")
 	top := fs.Int("top", 0, "print the top-K vertices by result value")
 	probe := fs.Bool("probe", false, "probe conflicts and print the eligibility verdict instead of timing")
+	advise := fs.Bool("advise", false, "print the static (ndlint) and probe-based eligibility verdicts side by side")
 	amplify := fs.Bool("amplify", false, "inject scheduling yields to widen race windows")
 	census := fs.Bool("census", false, "count observed conflicts during the run")
 	dispatch := fs.String("dispatch", "static", "intra-iteration dispatch: static (Fig. 1 blocks) or dynamic (chunked)")
@@ -87,6 +90,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *advise {
+		return runAdvise(out, a, g)
+	}
 	if *probe {
 		profile, verdict, err := algorithms.Probe(a, g)
 		if err != nil {
@@ -237,6 +243,29 @@ func pickSource(g *graph.Graph) uint32 {
 		}
 	}
 	return best
+}
+
+// runAdvise prints both eligibility verdicts for a: the static one, from
+// the registered worst-case access profile (what ndlint derives from
+// source — graph-independent), and the probe one, from an instrumented
+// run on g. A static ELIGIBLE holds for every input; a probe ELIGIBLE
+// only for inputs whose census the probed graph dominates.
+func runAdvise(out io.Writer, a algorithms.Algorithm, g *graph.Graph) error {
+	sp, ok := algorithms.StaticProfiles()[a.Name()]
+	if !ok {
+		return fmt.Errorf("no static profile registered for %q", a.Name())
+	}
+	staticVerdict := eligibility.AdviseStatic(a.Properties(), sp)
+	census, probeVerdict, err := algorithms.Probe(a, g)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nalgorithm: %s\nstatic profile: %s\nprobe census: %d read-write edge(s), %d write-write edge(s)\n\n%s\n\n%s\n",
+		a.Name(), sp, census.RW, census.WW, staticVerdict, probeVerdict)
+	if staticVerdict.Eligible != probeVerdict.Eligible {
+		fmt.Fprintf(out, "\nnote: the sources disagree — the static worst-case conflict class did not materialize on this graph\n")
+	}
+	return nil
 }
 
 func makeAlgorithm(name string, g *graph.Graph, src uint32, eps float64, seed uint64) (algorithms.Algorithm, error) {

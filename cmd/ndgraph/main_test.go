@@ -37,6 +37,31 @@ func TestRunProbe(t *testing.T) {
 	}
 }
 
+func TestRunAdvise(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-algo", "wcc", "-dataset", "web-google", "-scale", "500", "-advise"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"static profile: WW", "[source: static]", "[source: probe]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("advise output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "disagree") {
+		t.Fatalf("wcc verdicts should agree:\n%s", out)
+	}
+
+	sb.Reset()
+	if err := run([]string{"-algo", "coloring", "-dataset", "web-google", "-scale", "500", "-advise"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "NOT ELIGIBLE"); got != 2 {
+		t.Fatalf("coloring should be rejected by both sources, got %d rejections:\n%s", got, sb.String())
+	}
+}
+
 func TestRunPageRankTopAndCensus(t *testing.T) {
 	var sb strings.Builder
 	err := run([]string{"-algo", "pagerank", "-dataset", "web-google", "-scale", "500",

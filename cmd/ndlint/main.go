@@ -1,0 +1,233 @@
+// Command ndlint statically answers the paper's title question for the
+// update functions in a Go package tree: is your graph algorithm eligible
+// for nondeterministic execution? It runs the four internal/analysis
+// passes (scopecheck, conflictclass, determinism, atomicity) in one of
+// two modes:
+//
+// Standalone, over go-list package patterns:
+//
+//	ndlint ./...
+//	ndlint -conflictclass ./internal/algorithms
+//
+// As a `go vet` backend, speaking the vet-tool protocol (-V=full, -flags,
+// and per-package vet.cfg invocations):
+//
+//	go build -o ndlint ./cmd/ndlint
+//	go vet -vettool=$(pwd)/ndlint ./...
+//
+// With no pass flags every pass runs; naming one or more passes restricts
+// the run to those. Diagnostics go to stderr as file:line:col: [pass]
+// text; the exit status is 2 if any diagnostic fired, 1 on driver errors,
+// 0 otherwise. Findings are suppressed per line with
+// //ndlint:ignore <pass> <reason>.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ndgraph/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("ndlint", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ndlint [-<pass>]... [package pattern... | vet.cfg]")
+		fs.PrintDefaults()
+	}
+	vFlag := fs.String("V", "", "print version and exit (used by go vet: -V=full)")
+	flagsFlag := fs.Bool("flags", false, "print the analyzer flags as JSON and exit (used by go vet)")
+	enabled := map[string]*bool{}
+	for _, a := range analysis.Default() {
+		enabled[a.Name] = fs.Bool(a.Name, false, "run the "+a.Name+" pass (default: all passes)")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	// The go command interrogates the tool twice before any package:
+	// `-V=full` for a stable tool identity (it feeds the build cache, so
+	// it must not look like a devel build) and `-flags` for the flag
+	// schema it may forward.
+	if *vFlag != "" {
+		fmt.Printf("ndlint version v0.1.0-%s\n", selfHash())
+		return 0
+	}
+	if *flagsFlag {
+		type jsonFlag struct {
+			Name  string
+			Bool  bool
+			Usage string
+		}
+		var out []jsonFlag
+		for _, a := range analysis.Default() {
+			out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: "run the " + a.Name + " pass"})
+		}
+		data, err := json.Marshal(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ndlint:", err)
+			return 1
+		}
+		fmt.Println(string(data))
+		return 0
+	}
+
+	var analyzers []*analysis.Analyzer
+	for _, a := range analysis.Default() {
+		if *enabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+	if len(analyzers) == 0 {
+		analyzers = analysis.Default()
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return vetMode(rest[0], analyzers)
+	}
+	return standalone(rest, analyzers)
+}
+
+// selfHash returns a short content hash of the running executable, so
+// go vet's action cache invalidates when the tool is rebuilt.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+}
+
+// standalone loads package patterns from the current directory's module
+// and analyzes them.
+func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndlint:", err)
+		return 1
+	}
+	status := 0
+	for _, pkg := range pkgs {
+		diags, _, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ndlint:", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			status = 2
+		}
+	}
+	return status
+}
+
+// vetConfig is the JSON payload the go command writes next to each
+// package it vets (see cmd/go/internal/work.vetConfig). Fields this tool
+// does not consume are omitted; unknown JSON keys are ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetMode analyzes the single package described by a vet.cfg file.
+func vetMode(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndlint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ndlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The go command expects the facts file to exist afterwards even
+	// though ndlint computes no cross-package facts.
+	writeVetx := func() bool {
+		if cfg.VetxOutput == "" {
+			return true
+		}
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "ndlint:", err)
+			return false
+		}
+		return true
+	}
+
+	// Dependency packages are vetted only for facts; skip the real work.
+	if cfg.VetxOnly {
+		if !writeVetx() {
+			return 1
+		}
+		return 0
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	pkg, err := analysis.TypeCheckFiles(cfg.ImportPath, cfg.Dir, cfg.GoFiles, lookup)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			if !writeVetx() {
+				return 1
+			}
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "ndlint:", err)
+		return 1
+	}
+
+	diags, _, err := analysis.RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndlint:", err)
+		return 1
+	}
+	if !writeVetx() {
+		return 1
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		return 2
+	}
+	return 0
+}

@@ -77,5 +77,7 @@ func Probe(a Algorithm, g *graph.Graph) (eligibility.ConflictProfile, eligibilit
 		return eligibility.ConflictProfile{}, eligibility.Verdict{}, err
 	}
 	profile := eligibility.ConflictProfile{RW: res.RWConflicts, WW: res.WWConflicts}
-	return profile, eligibility.Advise(a.Properties(), profile), nil
+	verdict := eligibility.Advise(a.Properties(), profile)
+	verdict.Source = "probe"
+	return profile, verdict, nil
 }

@@ -57,6 +57,8 @@ func (*Coloring) Setup(e *core.Engine) {
 
 // Update is f(v): choose the smallest color not used by any neighbor (as
 // published on the incident edges) and publish it on the vertex's halves.
+//
+//ndlint:ignore conflictclass deliberate counter-example: WW without monotonicity is the paper's canonical ineligible profile, kept to demonstrate the rejection
 func (*Coloring) Update(ctx core.VertexView) {
 	deg := ctx.InDegree() + ctx.OutDegree()
 	used := make([]bool, deg+1)
@@ -85,11 +87,11 @@ func (*Coloring) Update(ctx core.VertexView) {
 	// algorithm ineligible.
 	for k := 0; k < ctx.InDegree(); k++ {
 		w := ctx.InEdgeVal(k)
-		ctx.SetInEdgeVal(k, packColors(srcColor(w), c))
+		ctx.SetInEdgeVal(k, packColors(srcColor(w), c)) //ndlint:ignore atomicity intentionally racy packed-half publish — the very hazard this counter-example exists to exhibit
 	}
 	for k := 0; k < ctx.OutDegree(); k++ {
 		w := ctx.OutEdgeVal(k)
-		ctx.SetOutEdgeVal(k, packColors(c, dstColor(w)))
+		ctx.SetOutEdgeVal(k, packColors(c, dstColor(w))) //ndlint:ignore atomicity intentionally racy packed-half publish — the very hazard this counter-example exists to exhibit
 	}
 }
 

@@ -61,6 +61,8 @@ func (*LabelProp) Setup(e *core.Engine) {
 
 // Update is f(v): adopt the most frequent label among in-edges (smallest
 // label wins ties), publish on out-edges when changed.
+//
+//ndlint:ignore conflictclass deliberate rejection case: neither convergence premise holds, so the advisor (static and probe alike) must say NOT ELIGIBLE
 func (*LabelProp) Update(ctx core.VertexView) {
 	if ctx.InDegree() == 0 {
 		return
@@ -71,7 +73,7 @@ func (*LabelProp) Update(ctx core.VertexView) {
 	}
 	cur := ctx.Vertex()
 	best, bestCount := cur, counts[cur]
-	for label, c := range counts {
+	for label, c := range counts { //ndlint:ignore determinism order-invariant argmax: strict improvement plus smallest-label tie-break picks the same label under any iteration order
 		if c > bestCount || (c == bestCount && label < best) {
 			best, bestCount = label, c
 		}

@@ -1,0 +1,30 @@
+package algorithms
+
+import "ndgraph/internal/eligibility"
+
+// StaticProfiles returns the expected static access profile of every
+// built-in algorithm's update function, keyed by Name(). These are the
+// worst-case conflict classes of the paper's Table: the scatter side a
+// vertex writes, the gather side its neighbor reads (RW), and for the
+// label/estimate-repair algorithms both endpoints write the shared edge
+// word (WW). The ndlint conflictclass pass derives the same profiles from
+// source; the root-level consistency test pins the two together and
+// checks both against the runtime probe census.
+func StaticProfiles() map[string]eligibility.StaticProfile {
+	// PageRank shape: gather reads in-edges, scatter writes out-edges.
+	rw := eligibility.StaticProfile{ReadsIn: true, WritesOut: true, WritesVertex: true}
+	// SSSP relaxes against the current out-edge value before writing it.
+	rwGuard := eligibility.StaticProfile{ReadsIn: true, ReadsOut: true, WritesOut: true, WritesVertex: true}
+	// Label/estimate repair: both directions read and written.
+	ww := eligibility.StaticProfile{ReadsIn: true, ReadsOut: true, WritesIn: true, WritesOut: true, WritesVertex: true}
+	return map[string]eligibility.StaticProfile{
+		"pagerank":  rw,
+		"spmv":      rw,
+		"labelprop": rw,
+		"sssp":      rwGuard,
+		"bfs":       rwGuard,
+		"wcc":       ww,
+		"kcore":     ww,
+		"coloring":  ww,
+	}
+}

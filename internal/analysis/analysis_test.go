@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"ndgraph/internal/eligibility"
+)
+
+func TestScopeCheckFixtures(t *testing.T) {
+	RunFixture(t, ScopeCheck, "scopecheck")
+}
+
+func TestDeterminismFixtures(t *testing.T) {
+	RunFixture(t, Determinism, "determinism")
+}
+
+func TestAtomicityFixtures(t *testing.T) {
+	RunFixture(t, Atomicity, "atomicity")
+}
+
+func TestConflictClassFixtures(t *testing.T) {
+	results := RunFixture(t, ConflictClass, "conflictclass")
+	reports, ok := results["conflictclass"].([]ClassReport)
+	if !ok {
+		t.Fatalf("conflictclass result has type %T", results["conflictclass"])
+	}
+	byRecv := map[string]ClassReport{}
+	for _, r := range reports {
+		if r.Recv != "" {
+			byRecv[r.Recv] = r
+		}
+	}
+	// Call-graph propagation: GoodPR's profile must union its helpers'.
+	pr, ok := byRecv["GoodPR"]
+	if !ok {
+		t.Fatal("no report for GoodPR")
+	}
+	want := eligibility.StaticProfile{ReadsIn: true, WritesOut: true, WritesVertex: true}
+	if pr.Profile != want {
+		t.Errorf("GoodPR profile = %+v, want %+v", pr.Profile, want)
+	}
+	if pr.Verdict == nil || !pr.Verdict.Eligible || pr.Verdict.Theorem != 1 {
+		t.Errorf("GoodPR verdict = %+v, want eligible Theorem 1", pr.Verdict)
+	}
+	wcc, ok := byRecv["GoodWCC"]
+	if !ok {
+		t.Fatal("no report for GoodWCC")
+	}
+	if got := wcc.Profile.Class(); got != "WW" {
+		t.Errorf("GoodWCC class = %s, want WW", got)
+	}
+	if wcc.Verdict == nil || !wcc.Verdict.Eligible || wcc.Verdict.Theorem != 2 {
+		t.Errorf("GoodWCC verdict = %+v, want eligible Theorem 2", wcc.Verdict)
+	}
+	if wcc.Props == nil || !wcc.Props.Monotonic || wcc.Props.Name != "goodwcc" {
+		t.Errorf("GoodWCC extracted props = %+v", wcc.Props)
+	}
+}
+
+// TestMalformedPragmaReported checks that a reason-less pragma does not
+// suppress and is itself diagnosed.
+func TestMalformedPragmaReported(t *testing.T) {
+	const src = `package p
+
+var x int
+
+//ndlint:ignore scopecheck
+func touch() {
+	x = 1
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "p", Fset: fset, Files: []*ast.File{f}}
+	seed := []Diagnostic{{
+		Pos:      fset.Position(f.Decls[1].Pos()),
+		Category: "scopecheck",
+		Message:  "writes package-level variable x",
+	}}
+	got := filterPragmas(pkg, seed)
+	if len(got) != 2 {
+		t.Fatalf("filterPragmas kept %d diagnostics, want 2 (original + malformed pragma): %v", len(got), got)
+	}
+	if got[0].Message != seed[0].Message {
+		t.Errorf("reason-less pragma suppressed the diagnostic: %v", got)
+	}
+	if got[1].Category != "pragma" || !strings.Contains(got[1].Message, "malformed ndlint pragma") {
+		t.Errorf("malformed pragma not reported: %v", got[1])
+	}
+}
+
+// TestPragmaCoversWildcard checks the "all" pass wildcard and the
+// line-above rule.
+func TestPragmaCoversWildcard(t *testing.T) {
+	pragmas := map[string]map[int][]pragma{
+		"f.go": {10: {{pass: "all", reason: "r"}}},
+	}
+	for _, line := range []int{10, 11} {
+		d := Diagnostic{Pos: token.Position{Filename: "f.go", Line: line}, Category: "determinism"}
+		if !pragmaCovers(pragmas, d) {
+			t.Errorf("line %d not covered by all-pragma on line 10", line)
+		}
+	}
+	d := Diagnostic{Pos: token.Position{Filename: "f.go", Line: 12}, Category: "determinism"}
+	if pragmaCovers(pragmas, d) {
+		t.Error("line 12 covered by pragma on line 10")
+	}
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// This file is the repository's analysistest analog: golden fixture
+// packages live under testdata/src/<pkg>/, annotated with
+//
+//	expr // want "regexp" "another regexp"
+//
+// comments naming the diagnostics the analyzer must produce on that line.
+// Fixture packages import each other by bare path (e.g. "core" resolves to
+// testdata/src/core); standard-library imports are resolved through export
+// data from `go list -export`.
+
+// RunFixture runs analyzer over each fixture package and asserts that its
+// (pragma-filtered) diagnostics match the // want annotations exactly. It
+// returns the analyzer's result per fixture directory, so tests can also
+// assert on pass results (e.g. conflictclass profiles).
+func RunFixture(t *testing.T, analyzer *Analyzer, dirs ...string) map[string]any {
+	t.Helper()
+	root := filepath.Join("testdata", "src")
+	loader := newFixtureLoader(t, root)
+	results := make(map[string]any, len(dirs))
+	for _, dir := range dirs {
+		pkg := loader.load(dir)
+		diags, res, err := RunAnalyzers(pkg, []*Analyzer{analyzer})
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		results[dir] = res[analyzer.Name]
+		checkExpectations(t, dir, pkg, diags)
+	}
+	return results
+}
+
+// fixtureLoader type-checks fixture packages, resolving fixture-local
+// imports from source and everything else from stdlib export data.
+type fixtureLoader struct {
+	t    *testing.T
+	root string
+	fset *token.FileSet
+	memo map[string]*types.Package
+	std  types.Importer
+}
+
+func newFixtureLoader(t *testing.T, root string) *fixtureLoader {
+	t.Helper()
+	fset := token.NewFileSet()
+	exports, err := StdExports(stdImportsOf(t, root)...)
+	if err != nil {
+		t.Fatalf("resolving stdlib exports: %v", err)
+	}
+	std := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+	return &fixtureLoader{t: t, root: root, fset: fset, memo: map[string]*types.Package{}, std: std}
+}
+
+// stdImportsOf collects every import across the corpus that does not
+// resolve to a fixture directory — those must come from the standard
+// library.
+func stdImportsOf(t *testing.T, root string) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	var std []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			if _, err := os.Stat(filepath.Join(root, p)); err != nil {
+				std = append(std, p)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("scanning fixture imports: %v", err)
+	}
+	return std
+}
+
+func (l *fixtureLoader) load(dir string) *Package {
+	l.t.Helper()
+	full := filepath.Join(l.root, dir)
+	entries, err := os.ReadDir(full)
+	if err != nil {
+		l.t.Fatalf("fixture %s: %v", dir, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(full, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			l.t.Fatalf("fixture %s: %v", dir, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		l.t.Fatalf("fixture %s: no Go files", dir)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(dir, l.fset, files, info)
+	if err != nil {
+		l.t.Fatalf("fixture %s: typecheck: %v", dir, err)
+	}
+	l.memo[dir] = tpkg
+	return &Package{Path: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+}
+
+// Import implements types.Importer: fixture directories from source,
+// everything else from stdlib export data.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.memo[path]; ok {
+		return pkg, nil
+	}
+	if _, err := os.Stat(filepath.Join(l.root, path)); err == nil {
+		return l.load(path).Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// wantRx extracts the quoted regexps of a // want comment.
+var wantRx = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+func collectExpectations(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRx.FindAllString(strings.TrimPrefix(text, "want "), -1) {
+					pattern := strings.Trim(q, "`")
+					if strings.HasPrefix(q, "\"") {
+						var err error
+						pattern, err = strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+					}
+					rx, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+					}
+					exps = append(exps, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return exps
+}
+
+func checkExpectations(t *testing.T, dir string, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	exps := collectExpectations(t, pkg)
+	for _, d := range diags {
+		found := false
+		for _, e := range exps {
+			if e.file == d.Pos.Filename && e.line == d.Pos.Line && e.rx.MatchString(d.Message) {
+				e.matched = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", dir, d)
+		}
+	}
+	for _, e := range exps {
+		if !e.matched {
+			t.Errorf("%s: %s:%d: no diagnostic matched want %q", dir, e.file, e.line, e.rx)
+		}
+	}
+}

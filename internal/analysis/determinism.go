@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism flags sources of run-to-run nondeterminism *inside* update
+// functions: wall-clock reads, math/rand, and map iteration. These do not
+// affect the paper's convergence theorems (which tolerate scheduling
+// nondeterminism), but they break everything in this repository that
+// relies on an update being a pure function of its view — trace
+// record/replay (ReplayTrace forces recorded racy reads and asserts a
+// byte-identical fixed point) and the cross-engine differential suite
+// (which pins every engine to the same sequential fixed point).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag wall clocks, math/rand, and map iteration inside update " +
+		"functions — they break record/replay and differential testing",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) (any, error) {
+	for _, u := range FindUpdateFuncs(pass) {
+		checkDeterminism(pass, u)
+	}
+	return nil, nil
+}
+
+func checkDeterminism(pass *Pass, u UpdateFn) {
+	ast.Inspect(u.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(s.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(s.Pos(),
+						"%s ranges over a map: Go randomizes map iteration order, so two runs of the same schedule can diverge — ReplayTrace and the cross-engine differential suite both assume the update is a pure function of its view",
+						u.Name)
+				}
+			}
+		case *ast.CallExpr:
+			pkg, fn := calledFunc(pass, s)
+			switch {
+			case pkg == "time" && (fn == "Now" || fn == "Since" || fn == "Until"):
+				pass.Reportf(s.Pos(),
+					"%s reads the wall clock (time.%s): the result differs across runs and engines, breaking record/replay",
+					u.Name, fn)
+			case pkg == "math/rand" || pkg == "math/rand/v2":
+				pass.Reportf(s.Pos(),
+					"%s calls %s.%s: unseeded process-global randomness differs across runs, breaking record/replay — derive randomness from internal/rng with a fixed seed at setup time instead",
+					u.Name, pkg, fn)
+			}
+		}
+		return true
+	})
+}
+
+// calledFunc resolves a call to (package path, function name); empty
+// strings when the callee is not a named function from a package.
+func calledFunc(pass *Pass, call *ast.CallExpr) (string, string) {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// The loader type-checks module packages without golang.org/x/tools: it
+// asks the go command for compiled export data (`go list -export -deps
+// -json`) and feeds it to the standard library's gc importer. Within one
+// toolchain version — the only configuration this repository supports —
+// that is exactly what a unitchecker-based driver does with
+// go/gcexportdata, minus the external dependency.
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir (a module directory), type-checks every
+// matched (non-dependency) package from source against the export data of
+// its dependencies, and returns them sorted by import path.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			msg = string(ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list %v: %s", patterns, msg)
+	}
+
+	exports := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := TypeCheckFiles(t.ImportPath, t.Dir, t.GoFiles, func(path string) (io.ReadCloser, error) {
+			e, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(e)
+		})
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// TypeCheckFiles parses files (relative names resolved against dir) and
+// checks them with a gc importer that reads export data through lookup.
+// It is the shared back end of Load and cmd/ndlint's vet.cfg mode, where
+// the go command supplies the file and export-data lists directly.
+func TypeCheckFiles(importPath, dir string, files []string, lookup func(string) (io.ReadCloser, error)) (*Package, error) {
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	for _, name := range files {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", importPath, err)
+		}
+		parsed = append(parsed, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(importPath, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Fset: fset, Files: parsed, Types: tpkg, Info: info}, nil
+}
+
+// StdExports resolves export-data files for standard-library packages via
+// one `go list -export` invocation — used by the fixture harness, whose
+// corpora live outside any module.
+func StdExports(paths ...string) (map[string]string, error) {
+	if len(paths) == 0 {
+		return map[string]string{}, nil
+	}
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, paths...)
+	cmd := exec.Command("go", args...)
+	out, err := cmd.Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			msg = string(ee.Stderr)
+		}
+		return nil, fmt.Errorf("go list -export %v: %s", paths, msg)
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

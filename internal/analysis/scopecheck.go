@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ScopeCheck enforces the paper's Section II scope rule on update
+// functions: f(v) may access only its own vertex data and incident edges,
+// through the VertexView. Anything else — writes to captured or
+// package-level variables, writes through the shared receiver, goroutines,
+// channels, or ad-hoc sync/atomic use — makes the per-operation atomicity
+// of Section III insufficient and voids the premises of Theorems 1 and 2,
+// which reason about conflicts on edge data only.
+var ScopeCheck = &Analyzer{
+	Name: "scopecheck",
+	Doc: "check that update functions confine their effects to the vertex and " +
+		"incident edges (the pull-mode scope of Algorithm 1)",
+	Run: runScopeCheck,
+}
+
+func runScopeCheck(pass *Pass) (any, error) {
+	for _, u := range FindUpdateFuncs(pass) {
+		checkScope(pass, u)
+	}
+	return nil, nil
+}
+
+func checkScope(pass *Pass, u UpdateFn) {
+	var recv types.Object
+	if u.Decl != nil && u.Decl.Recv != nil && len(u.Decl.Recv.List) == 1 && len(u.Decl.Recv.List[0].Names) == 1 {
+		recv = pass.Info.Defs[u.Decl.Recv.List[0].Names[0]]
+	}
+	span := u.Pos()
+
+	checkWrite := func(lhs ast.Expr) {
+		switch lhs.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.ParenExpr:
+		default:
+			return // rootless (e.g. a call result); nothing addressable to classify
+		}
+		root := rootIdent(lhs)
+		if root == nil || root.Name == "_" {
+			return
+		}
+		obj := pass.Info.Uses[root]
+		if obj == nil {
+			obj = pass.Info.Defs[root]
+		}
+		if obj == nil {
+			return
+		}
+		if _, isBare := lhs.(*ast.Ident); recv != nil && obj == recv && !isBare {
+			pass.Reportf(lhs.Pos(),
+				"%s writes receiver state %q: the receiver is shared by every concurrent update, so this is a data race outside the edge-conflict model of Section II",
+				u.Name, exprString(lhs))
+			return
+		}
+		if declaredWithin(obj, span) {
+			return // local variable (or parameter): in scope
+		}
+		kind := "captured variable"
+		if obj.Parent() == pass.Pkg.Scope() {
+			kind = "package-level variable"
+		}
+		pass.Reportf(lhs.Pos(),
+			"%s writes %s %q: the Section II scope rule confines f(v) to its vertex and incident edges (VertexView); out-of-scope writes race under nondeterministic execution and void Theorems 1 and 2",
+			u.Name, kind, root.Name)
+	}
+
+	ast.Inspect(u.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				checkWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(s.X)
+		case *ast.GoStmt:
+			pass.Reportf(s.Pos(),
+				"%s spawns a goroutine: update functions are the engine's unit of scheduling; nested concurrency is outside the system model",
+				u.Name)
+		case *ast.SendStmt:
+			pass.Reportf(s.Pos(),
+				"%s sends on a channel: channel communication inside an update function synchronizes outside the edge-conflict model",
+				u.Name)
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				pass.Reportf(s.Pos(),
+					"%s receives from a channel: channel communication inside an update function synchronizes outside the edge-conflict model",
+					u.Name)
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(s.Pos(),
+				"%s uses select: channel communication inside an update function synchronizes outside the edge-conflict model",
+				u.Name)
+		case *ast.CallExpr:
+			checkScopeCall(pass, u, s, checkWrite)
+		}
+		return true
+	})
+}
+
+// checkScopeCall flags builtin mutation of out-of-scope containers and any
+// use of sync / sync/atomic facilities.
+func checkScopeCall(pass *Pass, u UpdateFn, call *ast.CallExpr, checkWrite func(ast.Expr)) {
+	if id, ok := call.Fun.(*ast.Ident); ok && len(call.Args) > 0 {
+		switch id.Name {
+		case "delete", "clear":
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				checkWrite(call.Args[0])
+			}
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if pkg := selectedPackage(pass, sel); pkg == "sync" || pkg == "sync/atomic" {
+		pass.Reportf(call.Pos(),
+			"%s calls into %s: atomicity of edge data is the engine's job (the Section III realizations); ad-hoc synchronization invalidates the conflict census",
+			u.Name, pkg)
+	}
+}
+
+// selectedPackage returns the import path of the package a selector call
+// resolves into, either directly (atomic.AddInt64) or through the method's
+// receiver type (mu.Lock where mu is a sync.Mutex); "" otherwise.
+func selectedPackage(pass *Pass, sel *ast.SelectorExpr) string {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkgName, ok := pass.Info.Uses[id].(*types.PkgName); ok {
+			return pkgName.Imported().Path()
+		}
+	}
+	if obj := pass.Info.Uses[sel.Sel]; obj != nil {
+		if fn, ok := obj.(*types.Func); ok && fn.Pkg() != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return fn.Pkg().Path()
+			}
+		}
+	}
+	return ""
+}
+
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,32 @@
+// Negative atomicity fixtures: full-word overwrites (WCC-style) and
+// cross-word data flow are fine under per-word atomicity.
+package atomicity
+
+import "core"
+
+// fullOverwrite is the WCC shape: the written value is a full-word
+// replacement computed from the gather phase, not a partial rewrite of the
+// word being stored — reading the same word in the *guard* is harmless.
+func fullOverwrite(ctx core.VertexView) {
+	min := ctx.Vertex()
+	for k := 0; k < ctx.InDegree(); k++ {
+		if w := ctx.InEdgeVal(k); w < min {
+			min = w
+		}
+	}
+	ctx.SetVertex(min)
+	for k := 0; k < ctx.InDegree(); k++ {
+		if ctx.InEdgeVal(k) > min {
+			ctx.SetInEdgeVal(k, min)
+		}
+	}
+}
+
+// crossWord writes word k from a read of a *different* word — a data
+// dependence, not a read-modify-write of the same shared location.
+func crossWord(ctx core.VertexView) {
+	for k := 1; k < ctx.OutDegree(); k++ {
+		prev := ctx.OutEdgeVal(k - 1)
+		ctx.SetOutEdgeVal(k, prev+1)
+	}
+}

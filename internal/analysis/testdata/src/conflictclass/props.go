@@ -1,0 +1,21 @@
+// Package conflictclass exercises the static conflict classifier. The
+// Properties/Condition types replicate internal/eligibility's — the pass
+// extracts premises by field name, so the fixture stays self-contained.
+package conflictclass
+
+// Condition mirrors eligibility.Condition.
+type Condition int
+
+const (
+	Absolute Condition = iota
+	Approximate
+)
+
+// Properties mirrors eligibility.Properties.
+type Properties struct {
+	Name                   string
+	ConvergesSynchronously bool
+	ConvergesDetAsync      bool
+	Monotonic              bool
+	Convergence            Condition
+}

@@ -1,0 +1,38 @@
+// Positive determinism fixtures: wall clocks, process-global randomness,
+// and map iteration inside updates break record/replay.
+package determinism
+
+import (
+	"core"
+	"math/rand"
+	"time"
+)
+
+var start = time.Unix(0, 0)
+
+func BadClock(ctx core.VertexView) {
+	if time.Now().Unix() > 0 { // want `wall clock \(time.Now\)`
+		ctx.SetVertex(1)
+	}
+	if time.Since(start) > time.Second { // want `wall clock \(time.Since\)`
+		ctx.SetVertex(2)
+	}
+}
+
+func BadRand(ctx core.VertexView) {
+	ctx.SetVertex(uint64(rand.Int63())) // want `math/rand`
+}
+
+func BadMapRange(ctx core.VertexView) {
+	counts := map[uint64]int{}
+	for k := 0; k < ctx.InDegree(); k++ {
+		counts[ctx.InEdgeVal(k)]++
+	}
+	best := uint64(0)
+	for label, c := range counts { // want `ranges over a map`
+		if c > 1 && label > best {
+			best = label
+		}
+	}
+	ctx.SetVertex(best)
+}

@@ -1,0 +1,38 @@
+// Negative determinism fixtures: deterministic iteration and a justified
+// pragma produce no diagnostics.
+package determinism
+
+import "core"
+
+// deterministicUpdate iterates slices and the view only.
+func deterministicUpdate(ctx core.VertexView) {
+	vals := make([]uint64, 0, ctx.InDegree())
+	for k := 0; k < ctx.InDegree(); k++ {
+		vals = append(vals, ctx.InEdgeVal(k))
+	}
+	best := uint64(0)
+	for _, v := range vals {
+		if v > best {
+			best = v
+		}
+	}
+	ctx.SetVertex(best)
+}
+
+// suppressedMapRange demonstrates the pragma escape hatch: the map range
+// is order-invariant (max with a total tiebreak), and the reason is
+// recorded where the replay auditor will look for it.
+func suppressedMapRange(ctx core.VertexView) {
+	counts := map[uint64]int{}
+	for k := 0; k < ctx.InDegree(); k++ {
+		counts[ctx.InEdgeVal(k)]++
+	}
+	best := uint64(0)
+	//ndlint:ignore determinism order-invariant reduction: max over entries with a total tiebreak
+	for label := range counts {
+		if label > best {
+			best = label
+		}
+	}
+	ctx.SetVertex(best)
+}

@@ -1,0 +1,48 @@
+// Positive scopecheck fixtures: every construct here breaks the Section II
+// scope rule and must be flagged.
+package scopecheck
+
+import (
+	"core"
+	"sync"
+	"sync/atomic"
+)
+
+var global uint64
+
+var cache = map[uint32]uint64{}
+
+type Algo struct {
+	counter uint64
+	mu      sync.Mutex
+}
+
+func (a *Algo) Update(ctx core.VertexView) {
+	global = ctx.Vertex()           // want `package-level variable "global"`
+	a.counter++                     // want `receiver state`
+	atomic.AddUint64(&a.counter, 1) // want `sync/atomic`
+	a.mu.Lock()                     // want `calls into sync`
+	ctx.SetVertex(ctx.Vertex() + 1)
+	a.mu.Unlock() // want `calls into sync`
+}
+
+func MakeUpdate() func(core.VertexView) {
+	total := uint64(0)
+	return func(ctx core.VertexView) {
+		total += ctx.Vertex() // want `captured variable "total"`
+		ctx.SetVertex(total)
+	}
+}
+
+func BadCache(ctx core.VertexView) {
+	cache[ctx.V()] = ctx.Vertex() // want `package-level variable "cache"`
+	delete(cache, ctx.V())        // want `package-level variable "cache"`
+}
+
+func BadConcurrency(results chan uint64) func(core.VertexView) {
+	return func(ctx core.VertexView) {
+		go ctx.Yield()          // want `spawns a goroutine`
+		results <- ctx.Vertex() // want `sends on a channel`
+		<-results               // want `receives from a channel`
+	}
+}

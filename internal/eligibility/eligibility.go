@@ -80,6 +80,10 @@ type Verdict struct {
 	// Eligible reports whether nondeterministic execution is covered by a
 	// sufficient condition.
 	Eligible bool
+	// Source records how the conflict profile was obtained: "probe" for an
+	// instrumented runtime census, "static" for a compile-time access
+	// profile (see AdviseStatic), or "" when unspecified.
+	Source string
 	// Theorem is 1 or 2 when Eligible (the applicable condition), else 0.
 	Theorem int
 	// DeterministicResults reports whether nondeterministic runs will
@@ -103,6 +107,9 @@ func (v Verdict) String() string {
 		}
 	} else {
 		b.WriteString("NOT ELIGIBLE")
+	}
+	if v.Source != "" {
+		fmt.Fprintf(&b, " [source: %s]", v.Source)
 	}
 	for _, r := range v.Reasons {
 		b.WriteString("\n  - ")

@@ -1,0 +1,184 @@
+package eligibility
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAdviseRejectionRationales pins the human-readable rationale strings of
+// the advisor's rejection and variance paths: the coloring-style WW +
+// non-monotonic case, the missing det-async premise, the RW case with no
+// convergence premise, and the approximate-convergence variance wording.
+func TestAdviseRejectionRationales(t *testing.T) {
+	cases := []struct {
+		name         string
+		props        Properties
+		profile      ConflictProfile
+		wantEligible bool
+		wantPhrases  []string
+	}{
+		{
+			name: "WW non-monotonic (coloring-style) is ineligible",
+			props: Properties{
+				Name:              "coloring",
+				ConvergesDetAsync: true,
+				Monotonic:         false,
+				Convergence:       Absolute,
+			},
+			profile:      ConflictProfile{WW: 7},
+			wantEligible: false,
+			wantPhrases: []string{
+				"NOT ELIGIBLE",
+				"write-write conflicts on 7 edge(s)",
+				"not monotonic",
+				"corrupted edge values may never be corrected",
+			},
+		},
+		{
+			name: "WW without det-async premise names the failed premise",
+			props: Properties{
+				Name:        "ww-no-premise",
+				Monotonic:   true,
+				Convergence: Absolute,
+			},
+			profile:      ConflictProfile{WW: 3},
+			wantEligible: false,
+			wantPhrases: []string{
+				"NOT ELIGIBLE",
+				"does not converge under deterministic asynchronous execution",
+				"Theorem 2's premise fails",
+			},
+		},
+		{
+			name: "WW missing both premises reports both findings",
+			props: Properties{
+				Name:        "labelprop-ww",
+				Convergence: Absolute,
+			},
+			profile:      ConflictProfile{WW: 1},
+			wantEligible: false,
+			wantPhrases: []string{
+				"not monotonic",
+				"Theorem 2's premise fails",
+			},
+		},
+		{
+			name: "RW with no convergence premise is ineligible",
+			props: Properties{
+				Name:        "labelprop",
+				Convergence: Absolute,
+			},
+			profile:      ConflictProfile{RW: 9},
+			wantEligible: false,
+			wantPhrases: []string{
+				"NOT ELIGIBLE",
+				"no convergence premise holds",
+			},
+		},
+		{
+			name: "approximate convergence warns about run-to-run variance",
+			props: Properties{
+				Name:                   "pagerank",
+				ConvergesSynchronously: true,
+				ConvergesDetAsync:      true,
+				Convergence:            Approximate,
+			},
+			profile:      ConflictProfile{RW: 12},
+			wantEligible: true,
+			wantPhrases: []string{
+				"ELIGIBLE (Theorem 1)",
+				"results may vary run to run",
+				"convergence is approximate (relative ε)",
+				"run-to-run variance",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := Advise(tc.props, tc.profile)
+			if v.Eligible != tc.wantEligible {
+				t.Fatalf("Eligible = %v, want %v (%+v)", v.Eligible, tc.wantEligible, v)
+			}
+			s := v.String()
+			for _, phrase := range tc.wantPhrases {
+				if !strings.Contains(s, phrase) {
+					t.Errorf("verdict missing %q:\n%s", phrase, s)
+				}
+			}
+		})
+	}
+}
+
+func TestStaticProfileClasses(t *testing.T) {
+	cases := []struct {
+		name   string
+		sp     StaticProfile
+		class  string
+		rw, ww bool
+	}{
+		{"pure reader", StaticProfile{ReadsIn: true, ReadsOut: true}, "RO", false, false},
+		{"pagerank shape", StaticProfile{ReadsIn: true, WritesOut: true, WritesVertex: true}, "RW", true, false},
+		{"sssp shape", StaticProfile{ReadsIn: true, ReadsOut: true, WritesOut: true}, "RW", true, false},
+		{"wcc shape", StaticProfile{ReadsIn: true, ReadsOut: true, WritesIn: true, WritesOut: true}, "WW", true, true},
+		{"in-writer only", StaticProfile{WritesIn: true, ReadsIn: true}, "RO", false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.sp.Class(); got != tc.class {
+				t.Errorf("Class() = %q, want %q", got, tc.class)
+			}
+			if got := tc.sp.PotentialRW(); got != tc.rw {
+				t.Errorf("PotentialRW() = %v, want %v", got, tc.rw)
+			}
+			if got := tc.sp.PotentialWW(); got != tc.ww {
+				t.Errorf("PotentialWW() = %v, want %v", got, tc.ww)
+			}
+		})
+	}
+}
+
+func TestStaticProfileOverApproximates(t *testing.T) {
+	ww := StaticProfile{ReadsIn: true, ReadsOut: true, WritesIn: true, WritesOut: true}
+	rw := StaticProfile{ReadsIn: true, WritesOut: true}
+	ro := StaticProfile{ReadsIn: true}
+	for _, tc := range []struct {
+		name string
+		sp   StaticProfile
+		c    ConflictProfile
+		want bool
+	}{
+		{"WW covers everything", ww, ConflictProfile{RW: 5, WW: 3}, true},
+		{"RW covers RW census", rw, ConflictProfile{RW: 5}, true},
+		{"RW covers empty census", rw, ConflictProfile{}, true},
+		{"RW does not cover WW census", rw, ConflictProfile{WW: 1}, false},
+		{"RO does not cover RW census", ro, ConflictProfile{RW: 1}, false},
+	} {
+		if got := tc.sp.OverApproximates(tc.c); got != tc.want {
+			t.Errorf("%s: OverApproximates = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestAdviseStaticMatchesAdviseOnPotential(t *testing.T) {
+	props := Properties{
+		Name:                   "wcc",
+		ConvergesSynchronously: true,
+		ConvergesDetAsync:      true,
+		Monotonic:              true,
+		Convergence:            Absolute,
+	}
+	sp := StaticProfile{ReadsIn: true, ReadsOut: true, WritesIn: true, WritesOut: true}
+	v := AdviseStatic(props, sp)
+	if !v.Eligible || v.Theorem != 2 {
+		t.Fatalf("static WCC verdict = %+v", v)
+	}
+	if v.Source != "static" {
+		t.Fatalf("Source = %q, want static", v.Source)
+	}
+	if !strings.Contains(v.String(), "[source: static]") {
+		t.Fatalf("String() missing source tag:\n%s", v)
+	}
+	if !strings.Contains(v.String(), "static access profile: WW") {
+		t.Fatalf("String() missing profile line:\n%s", v)
+	}
+}

@@ -101,6 +101,9 @@ type (
 	ConflictProfile = eligibility.ConflictProfile
 	// Verdict is the advisor's answer to the title question.
 	Verdict = eligibility.Verdict
+	// StaticProfile records which edge sides an update function can
+	// touch, as derived from its source (cmd/ndlint's conflictclass pass).
+	StaticProfile = eligibility.StaticProfile
 )
 
 // Scheduler kinds (see internal/sched).
@@ -202,6 +205,12 @@ var (
 	NonDecreasing = algorithms.NonDecreasing
 	// Advise applies the Theorem 1/2 sufficient conditions directly.
 	Advise = eligibility.Advise
+	// AdviseStatic applies them to a statically derived access profile —
+	// a worst case over all graphs, so ELIGIBLE holds for every input.
+	AdviseStatic = eligibility.AdviseStatic
+	// StaticProfiles is the registry of the built-in algorithms'
+	// update-function access profiles, keyed by Name().
+	StaticProfiles = algorithms.StaticProfiles
 
 	// NewPageRank builds PageRank with local threshold ε.
 	NewPageRank = algorithms.NewPageRank

@@ -1,0 +1,153 @@
+// Root-level consistency test tying the three eligibility oracles
+// together for every built-in algorithm:
+//
+//   - the hand-written registry algorithms.StaticProfiles (the paper's
+//     worst-case conflict table),
+//   - the ndlint conflictclass pass, which derives the same profiles from
+//     the update functions' source, and
+//   - the runtime probe census, which counts conflicts actually realized
+//     on a concrete graph.
+//
+// The pass must reproduce the registry exactly, the static profile must
+// over-approximate every probe census, and the statically extracted
+// Properties and verdicts must agree with their runtime counterparts.
+package ndgraph_test
+
+import (
+	"testing"
+
+	"ndgraph/internal/algorithms"
+	"ndgraph/internal/analysis"
+	"ndgraph/internal/eligibility"
+	"ndgraph/internal/gen"
+	"ndgraph/internal/graph"
+)
+
+// updateRecv maps algorithm names to the receiver type of their Update
+// method, as the conflictclass pass labels its reports. BFS shares the
+// SSSP update function.
+var updateRecv = map[string]string{
+	"pagerank":  "PageRank",
+	"wcc":       "WCC",
+	"sssp":      "SSSP",
+	"bfs":       "SSSP",
+	"spmv":      "SpMV",
+	"kcore":     "KCore",
+	"labelprop": "LabelProp",
+	"coloring":  "Coloring",
+}
+
+func makeAlgorithm(t *testing.T, name string, g *graph.Graph) algorithms.Algorithm {
+	t.Helper()
+	switch name {
+	case "pagerank":
+		return algorithms.NewPageRank(1e-6)
+	case "wcc":
+		return algorithms.NewWCC()
+	case "sssp":
+		return algorithms.NewSSSP(g, 0, 11)
+	case "bfs":
+		return algorithms.NewBFS(g, 0)
+	case "spmv":
+		return algorithms.NewSpMV(g, 1e-6, 0.5, 12)
+	case "kcore":
+		return algorithms.NewKCore()
+	case "labelprop":
+		return algorithms.NewLabelProp()
+	case "coloring":
+		return algorithms.NewColoring()
+	}
+	t.Fatalf("unknown algorithm %q", name)
+	return nil
+}
+
+func TestStaticProfilesConsistentWithProbe(t *testing.T) {
+	pkgs, err := analysis.Load(".", "./internal/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	_, results, err := analysis.RunAnalyzers(pkgs[0], []*analysis.Analyzer{analysis.ConflictClass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRecv := map[string]analysis.ClassReport{}
+	for _, r := range results[analysis.ConflictClass.Name].([]analysis.ClassReport) {
+		if r.Recv != "" {
+			byRecv[r.Recv] = r
+		}
+	}
+
+	g, err := gen.RMAT(400, 2400, gen.DefaultRMAT, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	registry := algorithms.StaticProfiles()
+	names := []string{"pagerank", "wcc", "sssp", "bfs", "spmv", "kcore", "labelprop", "coloring"}
+	if len(names) != len(registry) {
+		t.Fatalf("registry has %d entries, want %d", len(registry), len(names))
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			want, ok := registry[name]
+			if !ok {
+				t.Fatalf("no StaticProfiles entry for %q", name)
+			}
+			report, ok := byRecv[updateRecv[name]]
+			if !ok {
+				t.Fatalf("conflictclass produced no report for receiver %q", updateRecv[name])
+			}
+
+			// Oracle 1 vs 2: pass-derived profile == hand-written registry.
+			if report.Profile != want {
+				t.Errorf("static profile mismatch: conflictclass derived %+v, registry says %+v",
+					report.Profile, want)
+			}
+
+			// Oracle 2 vs 3: static worst case bounds the runtime census.
+			a := makeAlgorithm(t, name, g)
+			census, probeVerdict, err := algorithms.Probe(a, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !want.OverApproximates(census) {
+				t.Errorf("static profile %s does not over-approximate probe census %+v", want, census)
+			}
+
+			// The statically extracted Properties must equal the declared
+			// ones. Name is best-effort: SSSP/BFS share an update and set
+			// it from a field, which no literal can reveal.
+			props := a.Properties()
+			if report.Props == nil {
+				t.Fatalf("conflictclass extracted no Properties for %s", name)
+			}
+			extracted := *report.Props
+			if extracted.Name == "" {
+				extracted.Name = props.Name
+			}
+			if extracted != props {
+				t.Errorf("extracted Properties %+v != runtime Properties %+v", extracted, props)
+			}
+
+			// Verdict agreement: a static ELIGIBLE is a worst-case
+			// guarantee, so the probe on any concrete graph must agree;
+			// and on this graph, where the census realizes the worst case,
+			// the two verdicts must coincide exactly.
+			staticVerdict := eligibility.AdviseStatic(props, want)
+			if staticVerdict.Source != "static" || probeVerdict.Source != "probe" {
+				t.Errorf("verdict sources = %q/%q, want static/probe", staticVerdict.Source, probeVerdict.Source)
+			}
+			if staticVerdict.Eligible && !probeVerdict.Eligible {
+				t.Errorf("static verdict ELIGIBLE but probe says not: static=%v probe=%v",
+					staticVerdict.Reasons, probeVerdict.Reasons)
+			}
+			if staticVerdict.Eligible != probeVerdict.Eligible {
+				t.Errorf("verdicts diverge on a worst-case-realizing graph: static=%v probe=%v (census %+v)",
+					staticVerdict.Eligible, probeVerdict.Eligible, census)
+			}
+		})
+	}
+}

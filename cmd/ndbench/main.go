@@ -12,6 +12,7 @@
 //	ndbench -exp iters                # convergence-speed comparison
 //	ndbench -exp async                # barrier vs pure-async comparison
 //	ndbench -exp topk                 # top-K rank agreement
+//	ndbench -exp netdist              # TCP worker processes + fault injection
 //
 // Common flags: -scale (dataset scale divisor, default 50), -seed,
 // -threads (comma list), -runs, -eps (comma list of ε).
@@ -53,7 +54,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ndbench", flag.ContinueOnError)
 	var exps expList
-	fs.Var(&exps, "exp", "experiment to run: all, table1, fig3, table2, table3, conflicts, iters, async, topk, ablate, psw, dist, fpvar, precision, divergence (repeatable)")
+	fs.Var(&exps, "exp", "experiment to run: all, table1, fig3, table2, table3, conflicts, iters, async, topk, ablate, psw, dist, netdist, fpvar, precision, divergence (repeatable)")
 	scale := fs.Int("scale", 50, "dataset scale divisor (1 = full paper size)")
 	seed := fs.Uint64("seed", 42, "master random seed")
 	threadsFlag := fs.String("threads", "1,2,4,8,16", "comma-separated worker counts for Fig. 3")
@@ -163,6 +164,11 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if all || want["netdist"] {
+		if err := printNetDist(out, cfg); err != nil {
+			return err
+		}
+	}
 	if all || want["fpvar"] {
 		if err := printFPVar(out, cfg); err != nil {
 			return err
@@ -250,6 +256,25 @@ func printDist(out io.Writer, cfg experiments.Config) error {
 	for _, r := range rows {
 		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%.4f\t%v\n",
 			r.Graph, r.Algo, r.Workers, r.Messages, r.Duplicates, r.Duration.Seconds(), r.Identical)
+	}
+	return w.Flush()
+}
+
+func printNetDist(out io.Writer, cfg experiments.Config) error {
+	rows, err := experiments.NetDistScaling(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "\n=== Extension: real-transport distributed execution (TCP worker processes) ===")
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "graph\talgorithm\tworkers\tfaults\trestarts\tsweeps\ttime(s)\tresults identical")
+	for _, r := range rows {
+		faults := r.Faults
+		if faults == "" {
+			faults = "-"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%s\t%d\t%d\t%.4f\t%v\n",
+			r.Graph, r.Algo, r.Workers, faults, r.Restarts, r.Sweeps, r.Duration.Seconds(), r.Identical)
 	}
 	return w.Flush()
 }

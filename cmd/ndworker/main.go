@@ -1,0 +1,29 @@
+// Command ndworker is a netdist worker process. It listens on an
+// ephemeral loopback port, announces the address on stdout as
+// "LISTEN <addr>", and then serves the coordinator until told to shut
+// down (or killed). All configuration — graph, algorithm, partition,
+// peers — arrives over the wire in the coordinator's init frame, so the
+// binary takes no flags.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+
+	"ndgraph/internal/netdist"
+)
+
+func main() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndworker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("LISTEN %s\n", ln.Addr())
+	if err := netdist.RunWorker(context.Background(), ln); err != nil {
+		fmt.Fprintln(os.Stderr, "ndworker:", err)
+		os.Exit(1)
+	}
+}

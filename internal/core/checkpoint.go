@@ -3,6 +3,7 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -10,6 +11,14 @@ import (
 
 	"ndgraph/internal/fsafe"
 )
+
+// ErrCorrupt marks a checkpoint file whose contents fail structural or
+// checksum validation: truncated mid-write, torn, or bit-rotted. Callers
+// holding more than one checkpoint generation should test with
+// errors.Is(err, ErrCorrupt) and fall back to the previous good file;
+// errors that do NOT wrap ErrCorrupt (missing file, a checkpoint for a
+// different graph) are not repaired by falling back.
+var ErrCorrupt = errors.New("core: checkpoint corrupt")
 
 // Checkpoint format: a little-endian header (magic, version, iteration,
 // update count, n, m), the vertex words, the edge words, the current
@@ -74,7 +83,7 @@ func (e *Engine) RestoreCheckpoint(path string) (int, error) {
 		return 0, fmt.Errorf("core: checkpoint: %w", err)
 	}
 	if fi.Size() < 6*8+4 {
-		return 0, fmt.Errorf("core: checkpoint: file truncated (%d bytes)", fi.Size())
+		return 0, fmt.Errorf("core: checkpoint: file truncated (%d bytes): %w", fi.Size(), ErrCorrupt)
 	}
 	body := fi.Size() - 4 // trailing CRC32
 	h := crc32.NewIEEE()
@@ -83,14 +92,14 @@ func (e *Engine) RestoreCheckpoint(path string) (int, error) {
 	var hdr [6]uint64
 	for i := range hdr {
 		if err := binary.Read(r, binary.LittleEndian, &hdr[i]); err != nil {
-			return 0, fmt.Errorf("core: checkpoint header: %w", err)
+			return 0, fmt.Errorf("core: checkpoint header: %v: %w", err, ErrCorrupt)
 		}
 	}
 	if hdr[0] != ckptMagic {
-		return 0, fmt.Errorf("core: checkpoint: bad magic %#x", hdr[0])
+		return 0, fmt.Errorf("core: checkpoint: bad magic %#x: %w", hdr[0], ErrCorrupt)
 	}
 	if hdr[1] != ckptVersion {
-		return 0, fmt.Errorf("core: checkpoint: unsupported version %d", hdr[1])
+		return 0, fmt.Errorf("core: checkpoint: unsupported version %d: %w", hdr[1], ErrCorrupt)
 	}
 	iter, updates := int(hdr[2]), int64(hdr[3])
 	if int(hdr[4]) != e.g.N() || int(hdr[5]) != e.g.M() {
@@ -99,31 +108,31 @@ func (e *Engine) RestoreCheckpoint(path string) (int, error) {
 	}
 	vertices := make([]uint64, e.g.N())
 	if err := readWords(r, vertices); err != nil {
-		return 0, fmt.Errorf("core: checkpoint vertices: %w", err)
+		return 0, fmt.Errorf("core: checkpoint vertices: %v: %w", err, ErrCorrupt)
 	}
 	edges := make([]uint64, e.g.M())
 	if err := readWords(r, edges); err != nil {
-		return 0, fmt.Errorf("core: checkpoint edges: %w", err)
+		return 0, fmt.Errorf("core: checkpoint edges: %v: %w", err, ErrCorrupt)
 	}
 	var count uint64
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
-		return 0, fmt.Errorf("core: checkpoint frontier: %w", err)
+		return 0, fmt.Errorf("core: checkpoint frontier: %v: %w", err, ErrCorrupt)
 	}
 	if count > uint64(e.g.N()) {
-		return 0, fmt.Errorf("core: checkpoint frontier count %d exceeds %d vertices", count, e.g.N())
+		return 0, fmt.Errorf("core: checkpoint frontier count %d exceeds %d vertices: %w", count, e.g.N(), ErrCorrupt)
 	}
 	members := make([]int, count)
 	for i := range members {
 		var v uint32
 		if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
-			return 0, fmt.Errorf("core: checkpoint frontier: %w", err)
+			return 0, fmt.Errorf("core: checkpoint frontier: %v: %w", err, ErrCorrupt)
 		}
 		// Bounds-check each member: LoadCurrent sets frontier bits without
 		// validation, so an out-of-range ID — reachable via a file whose
 		// CRC is valid over corrupt contents — would panic the bitset
 		// instead of returning an error.
 		if int(v) >= e.g.N() {
-			return 0, fmt.Errorf("core: checkpoint frontier member %d exceeds %d vertices", v, e.g.N())
+			return 0, fmt.Errorf("core: checkpoint frontier member %d exceeds %d vertices: %w", v, e.g.N(), ErrCorrupt)
 		}
 		members[i] = int(v)
 	}
@@ -135,11 +144,11 @@ func (e *Engine) RestoreCheckpoint(path string) (int, error) {
 	want := h.Sum32()
 	var tail [4]byte
 	if _, err := io.ReadFull(f, tail[:]); err != nil {
-		return 0, fmt.Errorf("core: checkpoint checksum: %w", err)
+		return 0, fmt.Errorf("core: checkpoint checksum: %v: %w", err, ErrCorrupt)
 	}
 	got := binary.LittleEndian.Uint32(tail[:])
 	if got != want {
-		return 0, fmt.Errorf("core: checkpoint checksum mismatch (file %#x, computed %#x): truncated or corrupted", got, want)
+		return 0, fmt.Errorf("core: checkpoint checksum mismatch (file %#x, computed %#x): truncated or corrupted: %w", got, want, ErrCorrupt)
 	}
 
 	copy(e.Vertices, vertices)

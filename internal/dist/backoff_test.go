@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"testing"
+
+	"ndgraph/internal/rng"
+)
+
+// The backoff schedule must stay within its documented envelope: attempt 0
+// yields nothing, attempt a >= 1 yields between base and 2*base inclusive,
+// where base = 1 << min(a-1, backoffCapShift). Unbounded growth would turn
+// a lossy link into a livelock; no growth would keep retransmits colliding.
+func TestBackoffScheduleBounds(t *testing.T) {
+	r := rng.New(99)
+	for attempt := 0; attempt <= 20; attempt++ {
+		base := 0
+		if attempt >= 1 {
+			shift := uint(attempt - 1)
+			if shift > backoffCapShift {
+				shift = backoffCapShift
+			}
+			base = 1 << shift
+		}
+		for draw := 0; draw < 200; draw++ {
+			got := backoffYields(uint8(attempt), r)
+			if attempt == 0 {
+				if got != 0 {
+					t.Fatalf("attempt 0 backed off %d yields, want 0", got)
+				}
+				continue
+			}
+			if got < base || got > 2*base {
+				t.Fatalf("attempt %d: backoff %d outside [%d, %d]", attempt, got, base, 2*base)
+			}
+		}
+	}
+}
+
+// The exponential term must be monotone in the attempt count up to the cap:
+// the minimum possible backoff of attempt a+1 is at least the minimum of
+// attempt a, and the cap keeps the maximum finite.
+func TestBackoffScheduleGrowsThenCaps(t *testing.T) {
+	minFor := func(attempt uint8) int {
+		lo := int(^uint(0) >> 1)
+		r := rng.New(uint64(attempt) + 7)
+		for i := 0; i < 500; i++ {
+			if got := backoffYields(attempt, r); got < lo {
+				lo = got
+			}
+		}
+		return lo
+	}
+	prev := 0
+	for a := uint8(1); a <= backoffCapShift+1; a++ {
+		lo := minFor(a)
+		if lo < prev {
+			t.Fatalf("attempt %d minimum backoff %d below attempt %d's %d", a, lo, a-1, prev)
+		}
+		prev = lo
+	}
+	capped := 1 << backoffCapShift
+	for a := uint8(backoffCapShift + 1); a < backoffCapShift+5; a++ {
+		r := rng.New(uint64(a))
+		for i := 0; i < 200; i++ {
+			if got := backoffYields(a, r); got > 2*capped {
+				t.Fatalf("attempt %d: backoff %d exceeds the cap envelope %d", a, got, 2*capped)
+			}
+		}
+	}
+}
+
+// The jitter must actually vary: identical retransmission attempts from
+// different draws should not all land on one value (that is the collision
+// pathology the jitter exists to break).
+func TestBackoffScheduleJitters(t *testing.T) {
+	r := rng.New(7)
+	for _, attempt := range []uint8{2, 4, 8} {
+		seen := map[int]bool{}
+		for i := 0; i < 300; i++ {
+			seen[backoffYields(attempt, r)] = true
+		}
+		if len(seen) < 2 {
+			t.Fatalf("attempt %d: %d draws produced a single backoff value (no jitter)", attempt, 300)
+		}
+	}
+}

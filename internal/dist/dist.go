@@ -108,6 +108,31 @@ type message struct {
 	attempt uint8 // retransmission count (drives backoff)
 }
 
+// backoffCapShift caps the exponential term of the retransmission backoff:
+// the deterministic part never exceeds 1<<backoffCapShift yields.
+const backoffCapShift = 6
+
+// backoffYields returns how many scheduler yields a retransmission backs
+// off before re-entering the inbox: an exponential term in the attempt
+// count (capped at 1<<backoffCapShift) plus a uniformly random jitter of
+// the same magnitude. The jitter is the point — with a purely deterministic
+// schedule, two messages whose retransmissions collided once re-collide on
+// every subsequent attempt, exactly the synchronized-retry pathology real
+// networks avoid by jittering timeouts. The result lies in [base, 2*base]
+// where base = 1 << min(attempt-1, backoffCapShift); attempt 0 (a first
+// transmission) backs off not at all.
+func backoffYields(attempt uint8, r *rng.Xoshiro256StarStar) int {
+	if attempt == 0 {
+		return 0
+	}
+	shift := uint(attempt - 1)
+	if shift > backoffCapShift {
+		shift = backoffCapShift
+	}
+	base := 1 << shift
+	return base + r.Intn(base+1)
+}
+
 // inbox is an unbounded mailbox with random-order removal: the delivery
 // scrambler. Unbounded queues keep the simulation deadlock-free (workers
 // never block on send).
@@ -287,13 +312,14 @@ func Run(g *graph.Graph, p Propagation, opts Options) ([]uint64, Result, error) 
 				if !stopped.Load() && opts.DropProb > 0 && r.Float64() < opts.DropProb {
 					// Lossy link: this delivery is lost. The sender's ack
 					// timeout fires and retransmits the same message after
-					// a backoff; the in-flight unit rides the retransmitted
-					// copy, so quiescence detection is unaffected.
+					// a jittered exponential backoff; the in-flight unit
+					// rides the retransmitted copy, so quiescence detection
+					// is unaffected.
 					drops.Add(1)
 					if m.attempt < math.MaxUint8 {
 						m.attempt++
 					}
-					for b := uint8(0); b < m.attempt && b < 8; b++ {
+					for b, n := 0, backoffYields(m.attempt, r); b < n; b++ {
 						runtime.Gosched()
 					}
 					inboxes[w].put(m)

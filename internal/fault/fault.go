@@ -100,21 +100,23 @@ type Plan struct {
 	CrashIter int
 }
 
-// Validate reports whether the plan's probabilities are well-formed.
+// Validate reports whether the plan's probabilities are well-formed. Errors
+// name the offending field so a misconfigured experiment points at exactly
+// the knob to fix.
 func (p Plan) Validate() error {
 	for _, pr := range []struct {
 		name string
 		v    float64
 	}{{"TornWrite", p.TornWrite}, {"DropWrite", p.DropWrite}, {"StaleRead", p.StaleRead}, {"Delay", p.Delay}} {
 		if pr.v < 0 || pr.v >= 1 {
-			return fmt.Errorf("fault: %s probability %v out of [0, 1)", pr.name, pr.v)
+			return fmt.Errorf("fault: invalid Plan.%s = %v: per-operation probability must be in [0, 1)", pr.name, pr.v)
 		}
 	}
 	if p.MaxFaults < 0 {
-		return fmt.Errorf("fault: negative MaxFaults %d", p.MaxFaults)
+		return fmt.Errorf("fault: invalid Plan.MaxFaults = %d: fault budget cannot be negative (0 means unlimited)", p.MaxFaults)
 	}
 	if p.CrashIter < 0 {
-		return fmt.Errorf("fault: negative CrashIter %d", p.CrashIter)
+		return fmt.Errorf("fault: invalid Plan.CrashIter = %d: crash iteration cannot be negative (0 disables the crash)", p.CrashIter)
 	}
 	return nil
 }

@@ -1,0 +1,256 @@
+package netdist
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ndgraph/internal/rng"
+)
+
+// ProxyPlan configures fault injection on proxied links. Probabilities
+// are per data-plane frame (msgData and msgAck); control frames (the peer
+// hello) always pass so connections can be established even under heavy
+// fault load.
+type ProxyPlan struct {
+	// DropProb discards the frame (the sender's ack timeout and
+	// retransmission must recover it).
+	DropProb float64
+	// DupProb forwards the frame twice (the receiver's idempotent merge
+	// must absorb it).
+	DupProb float64
+	// ReorderProb holds the frame back until after the next one.
+	ReorderProb float64
+	// DelayProb sleeps up to Delay before forwarding.
+	DelayProb float64
+	Delay     time.Duration
+	// Seed makes a fault schedule reproducible per (route, connection).
+	Seed uint64
+}
+
+// Proxy interposes on worker↔worker links at frame granularity: each
+// ordered worker pair gets a stable loopback listener whose backend can
+// be retargeted when a worker restarts at a new address. Because the
+// proxy parses the length-prefixed framing, faults hit whole protocol
+// messages — a dropped frame is a lost batch or a lost ack, never a torn
+// byte stream — and a blocked route is a clean network partition: frames
+// silently vanish in both directions while both TCP connections stay up.
+type Proxy struct {
+	mu       sync.Mutex
+	routes   map[[2]int]*proxyRoute
+	plan     ProxyPlan
+	blocked  map[[2]int]bool
+	isolated map[int]bool
+	conns    int // connection counter for per-connection fault streams
+	closed   bool
+}
+
+type proxyRoute struct {
+	p      *Proxy
+	key    [2]int // {src worker, dst worker}
+	ln     net.Listener
+	mu     sync.Mutex
+	target string
+	live   []net.Conn
+}
+
+// NewProxy returns an empty proxy.
+func NewProxy() *Proxy {
+	return &Proxy{
+		routes:   make(map[[2]int]*proxyRoute),
+		blocked:  make(map[[2]int]bool),
+		isolated: make(map[int]bool),
+	}
+}
+
+// SetPlan installs the fault plan applied to data-plane frames on every
+// route. Takes effect immediately, including on live connections, so tests
+// can open and close fault windows mid-run.
+func (p *Proxy) SetPlan(plan ProxyPlan) {
+	p.mu.Lock()
+	p.plan = plan
+	p.mu.Unlock()
+}
+
+func (p *Proxy) currentPlan() ProxyPlan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.plan
+}
+
+// RoutePair ensures a proxy listener for the ordered link src→dst
+// forwarding to target, and returns its stable listen address. Calling
+// again for the same pair retargets the backend without changing the
+// listen address.
+func (p *Proxy) RoutePair(src, dst int, target string) (string, error) {
+	key := [2]int{src, dst}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return "", fmt.Errorf("netdist: proxy closed")
+	}
+	if rt, ok := p.routes[key]; ok {
+		rt.retarget(target)
+		return rt.ln.Addr().String(), nil
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	rt := &proxyRoute{p: p, key: key, ln: ln, target: target}
+	p.routes[key] = rt
+	go rt.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Retarget points the src→dst route at a new backend (a restarted worker)
+// and cuts live connections so the sender redials through the unchanged
+// proxy address.
+func (p *Proxy) Retarget(src, dst int, target string) {
+	p.mu.Lock()
+	rt := p.routes[[2]int{src, dst}]
+	p.mu.Unlock()
+	if rt != nil {
+		rt.retarget(target)
+	}
+}
+
+// Block makes the ordered link src→dst a black hole: every frame is
+// discarded while connections stay up.
+func (p *Proxy) Block(src, dst int) {
+	p.mu.Lock()
+	p.blocked[[2]int{src, dst}] = true
+	p.mu.Unlock()
+}
+
+// Isolate blocks every link into and out of worker k — a full network
+// partition of that worker's data plane. Effective immediately, including
+// for routes created later.
+func (p *Proxy) Isolate(k int) {
+	p.mu.Lock()
+	p.isolated[k] = true
+	p.mu.Unlock()
+}
+
+// Heal lifts every block and isolation.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.blocked = make(map[[2]int]bool)
+	p.isolated = make(map[int]bool)
+	p.mu.Unlock()
+}
+
+// Close shuts all listeners and live connections down.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	routes := p.routes
+	p.routes = make(map[[2]int]*proxyRoute)
+	p.mu.Unlock()
+	for _, rt := range routes {
+		rt.ln.Close()
+		rt.mu.Lock()
+		for _, c := range rt.live {
+			c.Close()
+		}
+		rt.live = nil
+		rt.mu.Unlock()
+	}
+	return nil
+}
+
+func (p *Proxy) isBlocked(key [2]int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.blocked[key] || p.isolated[key[0]] || p.isolated[key[1]]
+}
+
+func (p *Proxy) faultStream(key [2]int) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.conns++
+	return rng.Mix64(p.plan.Seed ^ uint64(key[0])<<40 ^ uint64(key[1])<<20 ^ uint64(p.conns))
+}
+
+func (rt *proxyRoute) retarget(target string) {
+	rt.mu.Lock()
+	rt.target = target
+	live := rt.live
+	rt.live = nil
+	rt.mu.Unlock()
+	for _, c := range live {
+		c.Close()
+	}
+}
+
+func (rt *proxyRoute) acceptLoop() {
+	for {
+		in, err := rt.ln.Accept()
+		if err != nil {
+			return
+		}
+		rt.mu.Lock()
+		target := rt.target
+		rt.mu.Unlock()
+		out, err := net.DialTimeout("tcp", target, dialTimeout)
+		if err != nil {
+			in.Close()
+			continue
+		}
+		rt.mu.Lock()
+		rt.live = append(rt.live, in, out)
+		rt.mu.Unlock()
+		inFC := newFrameConn(in, 0, connWriteTO)
+		outFC := newFrameConn(out, 0, connWriteTO)
+		go rt.pump(inFC, outFC, rng.New(rt.p.faultStream(rt.key)))
+		go rt.pump(outFC, inFC, rng.New(rt.p.faultStream(rt.key)))
+	}
+}
+
+// pump forwards frames from src to dst, applying the current fault plan
+// to data-plane frames. The two directions of one connection run as two
+// pumps, so drops and delays hit batches and acks independently.
+func (rt *proxyRoute) pump(src, dst *frameConn, r *rng.Xoshiro256StarStar) {
+	defer src.Close()
+	defer dst.Close()
+	var stashTyp byte
+	var stash []byte
+	stashed := false
+	for {
+		typ, payload, err := src.readFrame()
+		if err != nil {
+			return
+		}
+		if rt.p.isBlocked(rt.key) {
+			continue // partition: the frame silently vanishes
+		}
+		plan := rt.p.currentPlan()
+		if typ == msgData || typ == msgAck {
+			if plan.DropProb > 0 && r.Float64() < plan.DropProb {
+				continue
+			}
+			if plan.DelayProb > 0 && plan.Delay > 0 && r.Float64() < plan.DelayProb {
+				time.Sleep(time.Duration(r.Float64() * float64(plan.Delay)))
+			}
+			if plan.ReorderProb > 0 && !stashed && r.Float64() < plan.ReorderProb {
+				stashTyp, stash, stashed = typ, payload, true
+				continue
+			}
+			if plan.DupProb > 0 && r.Float64() < plan.DupProb {
+				if err := dst.writeFrame(typ, payload); err != nil {
+					return
+				}
+			}
+		}
+		if err := dst.writeFrame(typ, payload); err != nil {
+			return
+		}
+		if stashed {
+			stashed = false
+			if err := dst.writeFrame(stashTyp, stash); err != nil {
+				return
+			}
+		}
+	}
+}

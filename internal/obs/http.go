@@ -68,6 +68,28 @@ func (o *Observer) WriteMetrics(w io.Writer) {
 		func(s EngineStats) string { return strconv.FormatInt(s.Scheduled, 10) })
 	gauge("ndgraph_residual_last", "Convergence residual (active fraction) of the most recent sample.",
 		func(s EngineStats) string { return strconv.FormatFloat(s.Residual, 'g', 6, 64) })
+
+	if fn := o.workerStatsFn(); fn != nil {
+		workers := fn()
+		renderWorker := func(name, help, typ string, get func(WorkerStats) int64) {
+			writeHeader(name, help, typ)
+			for _, ws := range workers {
+				fmt.Fprintf(w, "%s{worker=%q} %d\n", name, ws.Worker, get(ws))
+			}
+		}
+		renderWorker("ndgraph_worker_heartbeats_total", "Heartbeats received from the worker by the supervisor.", "counter",
+			func(ws WorkerStats) int64 { return ws.Heartbeats })
+		renderWorker("ndgraph_worker_retransmits_total", "Data batches re-sent by the worker after ack timeout.", "counter",
+			func(ws WorkerStats) int64 { return ws.Retransmits })
+		renderWorker("ndgraph_worker_recoveries_total", "Supervised restarts (checkpoint restore + boundary repair) of the worker.", "counter",
+			func(ws WorkerStats) int64 { return ws.Recoveries })
+		renderWorker("ndgraph_worker_messages_total", "Data messages delivered by the worker.", "counter",
+			func(ws WorkerStats) int64 { return ws.Messages })
+		renderWorker("ndgraph_worker_adopted_total", "Deliveries that improved a vertex value at the worker.", "counter",
+			func(ws WorkerStats) int64 { return ws.Adopted })
+		renderWorker("ndgraph_worker_unacked", "In-flight unacknowledged batches at the worker.", "gauge",
+			func(ws WorkerStats) int64 { return ws.Unacked })
+	}
 }
 
 // SetTraceSource installs the /trace endpoint's payload producer: a
@@ -116,12 +138,46 @@ func buildInfo() map[string]string {
 }
 
 // registerHealth wires the endpoints that must answer whether or not
-// telemetry is enabled: /healthz (liveness) and /buildinfo (binary
-// identity).
-func registerHealth(mux *http.ServeMux) {
+// telemetry is enabled: /healthz (pure liveness: 200 as long as the
+// process serves HTTP), /readyz (application readiness: 200 only when
+// every installed ReadyCheck passes), and /buildinfo (binary identity).
+//
+// The liveness/readiness split matters for supervision: a restarting
+// netdist worker is alive (do not kill it again) but not ready (do not
+// route messages or queries to it). /healthz therefore never consults
+// application state, and /readyz fails closed — no readiness source
+// installed means 503.
+func registerHealth(mux *http.ServeMux, o *Observer) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		type verdict struct {
+			Ready  bool         `json:"ready"`
+			Checks []ReadyCheck `json:"checks,omitempty"`
+			Reason string       `json:"reason,omitempty"`
+		}
+		w.Header().Set("Content-Type", "application/json")
+		render := func(status int, v verdict) {
+			w.WriteHeader(status)
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			_ = enc.Encode(v)
+		}
+		fn := o.readinessFn()
+		if fn == nil {
+			render(http.StatusServiceUnavailable, verdict{Ready: false, Reason: "no readiness source installed"})
+			return
+		}
+		checks := fn()
+		for _, c := range checks {
+			if !c.OK {
+				render(http.StatusServiceUnavailable, verdict{Ready: false, Checks: checks})
+				return
+			}
+		}
+		render(http.StatusOK, verdict{Ready: true, Checks: checks})
 	})
 	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -132,15 +188,17 @@ func registerHealth(mux *http.ServeMux) {
 }
 
 // Handler returns the observability endpoint: /metrics (Prometheus text),
-// /events (the ring buffer as JSON), /healthz, /buildinfo, /trace (the
-// current execution-path trace, when a source is installed), /debug/vars
-// (expvar), and /debug/pprof (the standard profiling suite). Workers of
-// labeled pools carry pprof goroutine labels, so /debug/pprof/profile
-// attributes CPU time to engines. Safe on nil (a handler that serves 503
-// for everything except /healthz and /buildinfo).
+// /events (the ring buffer as JSON), /healthz (liveness), /readyz
+// (readiness, driven by SetReadiness), /buildinfo, /trace (the current
+// execution-path trace, when a source is installed), /debug/vars (expvar),
+// and /debug/pprof (the standard profiling suite). Workers of labeled
+// pools carry pprof goroutine labels, so /debug/pprof/profile attributes
+// CPU time to engines. Safe on nil (a handler that serves 503 for
+// everything except /healthz, /readyz, and /buildinfo; /readyz then
+// always reports not ready).
 func (o *Observer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	registerHealth(mux)
+	registerHealth(mux, o)
 	if o == nil {
 		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "observability disabled", http.StatusServiceUnavailable)

@@ -54,11 +54,14 @@ const (
 	EnginePush
 	// EngineAutonomous is the priority-driven executor.
 	EngineAutonomous
+	// EngineNetdist is the real-transport multi-process distributed
+	// executor (TCP workers under coordinator supervision).
+	EngineNetdist
 
 	numEngines
 )
 
-var engineNames = [numEngines]string{"core", "async", "shard", "dist", "push", "autonomous"}
+var engineNames = [numEngines]string{"core", "async", "shard", "dist", "push", "autonomous", "netdist"}
 
 // String names the engine kind as used in metric labels and JSONL.
 func (k EngineKind) String() string {
@@ -180,6 +183,92 @@ type Observer struct {
 	// traceSource, when installed via SetTraceSource, serves the /trace
 	// download endpoint.
 	traceSource func(io.Writer) error
+	// readiness, when installed via SetReadiness, drives the /readyz
+	// endpoint's verdict.
+	readiness func() []ReadyCheck
+	// workerStats, when installed via SetWorkerStatsSource, adds
+	// per-worker distributed-run counters to /metrics.
+	workerStats func() []WorkerStats
+}
+
+// ReadyCheck is one named readiness condition reported by /readyz. Unlike
+// /healthz (pure liveness: the process answers), readiness is the
+// application-level "safe to route traffic here" verdict — a graph is
+// resident, the engine is not stalled, the distributed workers are
+// supervised. A load balancer or the netdist supervisor gates traffic on
+// the conjunction of all checks.
+type ReadyCheck struct {
+	// Name identifies the condition (e.g. "graph", "engine", "workers").
+	Name string `json:"name"`
+	// OK reports whether the condition currently holds.
+	OK bool `json:"ok"`
+	// Detail optionally explains the current state ("4/4 workers alive").
+	Detail string `json:"detail,omitempty"`
+}
+
+// SetReadiness installs the /readyz source: a function returning the
+// current readiness checks, called per request. Passing nil uninstalls it
+// (the endpoint then reports not-ready). Safe on nil (no-op).
+func (o *Observer) SetReadiness(fn func() []ReadyCheck) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.readiness = fn
+	o.mu.Unlock()
+}
+
+func (o *Observer) readinessFn() func() []ReadyCheck {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.readiness
+}
+
+// WorkerStats is one distributed worker's counter snapshot, as reported by
+// the netdist coordinator's supervision loop and rendered per-worker on
+// /metrics.
+type WorkerStats struct {
+	// Worker labels the metrics series (conventionally the worker index).
+	Worker string `json:"worker"`
+	// Heartbeats counts heartbeats the supervisor received from the worker.
+	Heartbeats int64 `json:"heartbeats"`
+	// Retransmits counts data batches the worker re-sent after an ack
+	// timeout (at-least-once delivery working its retry path).
+	Retransmits int64 `json:"retransmits"`
+	// Recoveries counts supervised restarts of the worker (crash → relaunch
+	// → checkpoint restore → boundary repair).
+	Recoveries int64 `json:"recoveries"`
+	// Messages counts data messages the worker delivered.
+	Messages int64 `json:"messages"`
+	// Adopted counts deliveries that improved a vertex (monotone merges).
+	Adopted int64 `json:"adopted"`
+	// Unacked is the worker's current count of in-flight unacknowledged
+	// batches (a gauge; non-zero under partition or loss).
+	Unacked int64 `json:"unacked"`
+}
+
+// SetWorkerStatsSource installs the per-worker /metrics source: a function
+// returning a snapshot of every worker's counters, called per scrape.
+// Passing nil uninstalls it. Safe on nil (no-op).
+func (o *Observer) SetWorkerStatsSource(fn func() []WorkerStats) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.workerStats = fn
+	o.mu.Unlock()
+}
+
+func (o *Observer) workerStatsFn() func() []WorkerStats {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.workerStats
 }
 
 // New builds an Observer.

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// /readyz fails closed: with no readiness source (including the nil
+// observer), a load balancer must NOT route traffic.
+func TestReadyzFailsClosedWithoutSource(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		o    *Observer
+	}{
+		{"enabled-no-source", New(Options{})},
+		{"nil", nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, hdr, body := doGet(t, tc.o.Handler(), "/readyz")
+			if code != http.StatusServiceUnavailable {
+				t.Fatalf("/readyz = %d, want 503", code)
+			}
+			if ct := hdr.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("/readyz Content-Type = %q", ct)
+			}
+			var v struct {
+				Ready  bool   `json:"ready"`
+				Reason string `json:"reason"`
+			}
+			if err := json.Unmarshal([]byte(body), &v); err != nil {
+				t.Fatalf("/readyz is not JSON: %v\n%s", err, body)
+			}
+			if v.Ready || v.Reason == "" {
+				t.Fatalf("/readyz verdict = %+v, want not-ready with a reason", v)
+			}
+		})
+	}
+}
+
+// /readyz is the conjunction of the installed checks; /healthz stays 200
+// throughout (liveness is not readiness).
+func TestReadyzReflectsChecks(t *testing.T) {
+	o := New(Options{})
+	h := o.Handler()
+	graphResident, engineStalled := false, false
+	o.SetReadiness(func() []ReadyCheck {
+		return []ReadyCheck{
+			{Name: "graph", OK: graphResident, Detail: "graph resident"},
+			{Name: "engine", OK: !engineStalled, Detail: "engine not stalled"},
+		}
+	})
+
+	if code, _, _ := doGet(t, h, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with failing check = %d, want 503", code)
+	}
+	if code, _, _ := doGet(t, h, "/healthz"); code != http.StatusOK {
+		t.Fatal("/healthz must stay 200 while not ready")
+	}
+
+	graphResident = true
+	code, _, body := doGet(t, h, "/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("/readyz with all checks passing = %d, want 200\n%s", code, body)
+	}
+	var v struct {
+		Ready  bool         `json:"ready"`
+		Checks []ReadyCheck `json:"checks"`
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Ready || len(v.Checks) != 2 {
+		t.Fatalf("/readyz verdict = %+v", v)
+	}
+
+	engineStalled = true
+	if code, _, _ := doGet(t, h, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatal("/readyz must flip back to 503 when a check regresses")
+	}
+
+	o.SetReadiness(nil)
+	if code, _, _ := doGet(t, h, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatal("/readyz must fail closed after the source is uninstalled")
+	}
+}
+
+// Per-worker supervision counters appear on /metrics once a source is
+// installed, one labeled series per worker.
+func TestMetricsIncludeWorkerStats(t *testing.T) {
+	o := New(Options{})
+	var sb strings.Builder
+	o.WriteMetrics(&sb)
+	if strings.Contains(sb.String(), "ndgraph_worker_") {
+		t.Fatal("worker series rendered with no source installed")
+	}
+
+	o.SetWorkerStatsSource(func() []WorkerStats {
+		return []WorkerStats{
+			{Worker: "0", Heartbeats: 12, Retransmits: 3, Recoveries: 1, Messages: 500, Adopted: 80, Unacked: 2},
+			{Worker: "1", Heartbeats: 11, Messages: 498},
+		}
+	})
+	sb.Reset()
+	o.WriteMetrics(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		`ndgraph_worker_heartbeats_total{worker="0"} 12`,
+		`ndgraph_worker_retransmits_total{worker="0"} 3`,
+		`ndgraph_worker_recoveries_total{worker="0"} 1`,
+		`ndgraph_worker_messages_total{worker="1"} 498`,
+		`ndgraph_worker_adopted_total{worker="0"} 80`,
+		`ndgraph_worker_unacked{worker="0"} 2`,
+		"# TYPE ndgraph_worker_unacked gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// The netdist engine kind is part of the closed enum: named in labels and
+// included in the full inventory.
+func TestNetdistEngineKind(t *testing.T) {
+	if EngineNetdist.String() != "netdist" {
+		t.Fatalf("EngineNetdist.String() = %q", EngineNetdist.String())
+	}
+	o := New(Options{})
+	o.Emit(Event{Engine: EngineNetdist, Messages: 7})
+	var sb strings.Builder
+	o.WriteMetrics(&sb)
+	if !strings.Contains(sb.String(), `ndgraph_messages_total{engine="netdist"} 7`) {
+		t.Fatal("/metrics missing the netdist engine series")
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"ndgraph/internal/graph"
 	"ndgraph/internal/loader"
 	"ndgraph/internal/metrics"
+	"ndgraph/internal/netdist"
 	"ndgraph/internal/obs"
 	"ndgraph/internal/push"
 	"ndgraph/internal/sched"
@@ -298,6 +299,40 @@ var (
 	DistWCC = dist.WCC
 	// DistSSSP runs distributed single-source shortest paths.
 	DistSSSP = dist.SSSP
+)
+
+// Real-transport distributed execution: worker processes on TCP with a
+// supervising coordinator (heartbeats, checkpoint restarts, Theorem-2
+// boundary repair) and frame-level fault injection (see DESIGN.md §12).
+type (
+	// NetDistOptions configures a real-transport distributed run.
+	NetDistOptions = netdist.Options
+	// NetDistResult reports a completed distributed run.
+	NetDistResult = netdist.Result
+	// NetDistGraph describes the input graph as a generative spec.
+	NetDistGraph = netdist.GraphSpec
+	// NetDistAlgo names the distributed algorithm and its parameters.
+	NetDistAlgo = netdist.AlgoSpec
+	// NetDistProxy injects drops/dups/delays/reorders/partitions on live
+	// worker↔worker links.
+	NetDistProxy = netdist.Proxy
+	// NetDistProxyPlan configures per-frame fault probabilities.
+	NetDistProxyPlan = netdist.ProxyPlan
+	// NetDistLauncher abstracts worker process lifecycle (start/stop/kill).
+	NetDistLauncher = netdist.Launcher
+)
+
+var (
+	// NetDistRun executes one supervised distributed job end to end.
+	NetDistRun = netdist.Run
+	// NewNetDistProxy builds an empty fault proxy.
+	NewNetDistProxy = netdist.NewProxy
+	// NewLocalLauncher hosts workers as goroutines on loopback TCP.
+	NewLocalLauncher = netdist.NewLocalLauncher
+	// NewExecLauncher spawns real worker processes from an ndworker binary.
+	NewExecLauncher = netdist.NewExecLauncher
+	// RunNetDistWorker serves one worker on a listener (cmd/ndworker's body).
+	RunNetDistWorker = netdist.RunWorker
 )
 
 // Observability: the zero-overhead-when-disabled telemetry layer. Attach

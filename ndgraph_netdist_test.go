@@ -1,0 +1,41 @@
+package ndgraph_test
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"ndgraph"
+	"ndgraph/internal/algorithms"
+)
+
+// TestNetDistFacade runs a small real-transport distributed job through
+// the facade and checks it against the shared-memory reference — the
+// root-level acceptance test for DESIGN.md §12.
+func TestNetDistFacade(t *testing.T) {
+	spec := ndgraph.NetDistGraph{Kind: "rmat", N: 400, M: 2000, Seed: 3}
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ndgraph.NetDistRun(context.Background(), ndgraph.NetDistOptions{
+		Workers:   3,
+		Graph:     spec,
+		Algo:      ndgraph.NetDistAlgo{Name: "sssp", Source: 0, WeightSeed: 17},
+		RTO:       50 * time.Millisecond,
+		Heartbeat: 20 * time.Millisecond,
+		Timeout:   60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weights := ndgraph.NewSSSP(g, 0, 17).Weights
+	want := algorithms.ReferenceSSSP(g, 0, weights)
+	got := res.Floats()
+	for v := range want {
+		if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+			t.Fatalf("vertex %d: dist %v, want %v", v, got[v], want[v])
+		}
+	}
+}

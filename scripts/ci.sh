@@ -35,13 +35,19 @@ echo "== go test -shuffle=on (order-independence) =="
 go test -shuffle=on -count=1 ./...
 
 echo "== go test -race (concurrency-heavy packages, short) =="
-go test -race -short ./internal/core/ ./internal/async/ ./internal/dist/ ./internal/fault/ ./internal/shard/ ./internal/trace/
+go test -race -short ./internal/core/ ./internal/async/ ./internal/dist/ ./internal/fault/ ./internal/shard/ ./internal/trace/ ./internal/netdist/ ./internal/obs/
 
 echo "== go test -race (cross-engine differential, lock + atomic modes) =="
 # The differential suite pins every executor to the sequential DE fixed
 # point using ModeLocked/ModeAtomic only (ModeAligned is compiled out of
 # race builds), so it doubles as the race gate for the full engine grid.
 go test -race -run 'TestCrossEngine' -count=1 .
+
+echo "== chaos smoke (netdist: SIGKILL + 30% drop window) =="
+# Real worker processes via ExecLauncher: one worker SIGKILLed mid-run, a
+# 30% frame-drop window opened and closed, and the result must still be
+# byte-identical to the sequential reference after supervised recovery.
+NDGRAPH_CHAOS=1 go test -run '^TestChaosSmoke$' -count=1 -v ./internal/netdist/ | grep -E 'chaos smoke|PASS|FAIL|ok '
 
 echo "== fuzz smoke (\${FUZZTIME:-30s} per target) =="
 # Each native fuzz target gets a short randomized run on top of its

@@ -10,11 +10,13 @@
 package ndgraph_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
 
 	"ndgraph/internal/algorithms"
+	"ndgraph/internal/async"
 	"ndgraph/internal/autonomous"
 	"ndgraph/internal/core"
 	"ndgraph/internal/dist"
@@ -22,7 +24,9 @@ import (
 	"ndgraph/internal/experiments"
 	"ndgraph/internal/gen"
 	"ndgraph/internal/graph"
+	"ndgraph/internal/hybrid"
 	"ndgraph/internal/obs"
+	"ndgraph/internal/push"
 	"ndgraph/internal/sched"
 	"ndgraph/internal/shard"
 )
@@ -380,4 +384,84 @@ func BenchmarkAutonomousVsCoordinatedSSSP(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkBFSEngines races every BFS-capable in-memory executor on the
+// same single-source instance per benchmark graph: the sequential
+// deterministic core, the parallel nondeterministic core, the barrier-free
+// async executor, the push (Ligra-style) engine, and the direction-
+// optimizing hybrid engine — the acceptance pipeline for the hybrid
+// engine's "beats the best existing engine" criterion (BENCH_PR7.json).
+// Each iteration is a full build-and-run so setup costs land on every
+// contender equally.
+func BenchmarkBFSEngines(b *testing.B) {
+	gs := getGraphs(b)
+	mode := edgedata.ModeAligned
+	if raceEnabled {
+		mode = edgedata.ModeAtomic
+	}
+	const threads = 4
+	for _, d := range gen.AllDatasets() {
+		g := gs[d.String()]
+		src := experiments.PickSource(g)
+		run := func(b *testing.B, opts core.Options) {
+			b.Helper()
+			for i := 0; i < b.N; i++ {
+				a := algorithms.NewBFS(g, src)
+				_, res, err := algorithms.Run(a, g, opts)
+				if err != nil || !res.Converged {
+					b.Fatalf("run: %v", err)
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("%s/core-det", d), func(b *testing.B) {
+			run(b, core.Options{Scheduler: sched.Deterministic})
+		})
+		b.Run(fmt.Sprintf("%s/core-nondet/P%d", d, threads), func(b *testing.B) {
+			run(b, core.Options{Scheduler: sched.Nondeterministic, Threads: threads, Mode: mode})
+		})
+		b.Run(fmt.Sprintf("%s/async/P%d", d, threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := algorithms.NewBFS(g, src)
+				seed, err := core.NewEngine(g, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				a.Setup(seed)
+				x, err := async.NewExecutor(g, async.Options{Threads: threads, Mode: edgedata.ModeAtomic})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := x.LoadFrom(seed); err != nil {
+					b.Fatal(err)
+				}
+				res, err := x.Run(a.Update)
+				x.Close()
+				if err != nil || !res.Converged {
+					b.Fatalf("async: %v", err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/push/P%d", d, threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, res, err := push.BFS(g, src, push.ModeCAS, threads)
+				if err != nil || !res.Converged {
+					b.Fatalf("push: %v", err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/hybrid/P%d", d, threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := hybrid.NewEngine(g, threads)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := e.Run(context.Background(), algorithms.BFSKernel(src))
+				e.Close()
+				if err != nil || !res.Converged {
+					b.Fatalf("hybrid: %v", err)
+				}
+			}
+		})
+	}
 }

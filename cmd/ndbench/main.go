@@ -13,6 +13,7 @@
 //	ndbench -exp async                # barrier vs pure-async comparison
 //	ndbench -exp topk                 # top-K rank agreement
 //	ndbench -exp netdist              # TCP worker processes + fault injection
+//	ndbench -exp hybrid               # direction-optimizing engine sweep
 //
 // Common flags: -scale (dataset scale divisor, default 50), -seed,
 // -threads (comma list), -runs, -eps (comma list of ε).
@@ -27,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 	"text/tabwriter"
+	"time"
 
 	"ndgraph/internal/experiments"
 	"ndgraph/internal/obs"
@@ -54,7 +56,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ndbench", flag.ContinueOnError)
 	var exps expList
-	fs.Var(&exps, "exp", "experiment to run: all, table1, fig3, table2, table3, conflicts, iters, async, topk, ablate, psw, dist, netdist, fpvar, precision, divergence (repeatable)")
+	fs.Var(&exps, "exp", "experiment to run: all, table1, fig3, table2, table3, conflicts, iters, async, topk, ablate, psw, dist, netdist, fpvar, precision, divergence, hybrid (repeatable)")
 	scale := fs.Int("scale", 50, "dataset scale divisor (1 = full paper size)")
 	seed := fs.Uint64("seed", 42, "master random seed")
 	threadsFlag := fs.String("threads", "1,2,4,8,16", "comma-separated worker counts for Fig. 3")
@@ -184,7 +186,30 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if all || want["hybrid"] {
+		if err := printHybrid(out, cfg); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+func printHybrid(out io.Writer, cfg experiments.Config) error {
+	rows, err := experiments.HybridStudy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "\n=== Extension: direction-optimizing (push/pull) hybrid engine ===")
+	fmt.Fprintln(out, "trace: one letter per iteration, P = push (sparse, CAS), L = pull (dense, gather)")
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "graph\talgo\tthreads\titers\tswitches\thybrid\tall-push\tspeedup\ttrace")
+	for _, r := range rows {
+		speedup := float64(r.AllPush) / float64(r.Hybrid)
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%v\t%v\t%.2fx\t%s\n",
+			r.Graph, r.Algo, r.Threads, r.Iterations, r.Switches,
+			r.Hybrid.Round(10*time.Microsecond), r.AllPush.Round(10*time.Microsecond), speedup, r.Trace)
+	}
+	return w.Flush()
 }
 
 func printDivergence(out io.Writer, cfg experiments.Config) error {

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ndgraph/internal/algorithms"
+	"ndgraph/internal/gen"
+	"ndgraph/internal/hybrid"
+)
+
+// HybridRow is one graph × algorithm line of the direction-optimizing
+// sweep: how the Beamer policy scheduled directions, and what that bought
+// over forcing every iteration through the push kernel.
+type HybridRow struct {
+	Graph      string
+	Algo       string
+	Threads    int
+	Iterations int
+	// Switches counts direction changes between consecutive iterations.
+	Switches int
+	// Trace is one character per iteration: 'P' push, 'L' pull.
+	Trace string
+	// Hybrid is the wall time under the default Beamer policy; AllPush is
+	// the same engine forced to push every iteration.
+	Hybrid, AllPush time.Duration
+}
+
+// HybridStudy runs the paired push/pull kernels (WCC, BFS, SSSP) on every
+// benchmark graph through the direction-optimizing engine, once under the
+// default Beamer policy and once forced all-push, reporting the recorded
+// direction trace and both times (best of three runs). WCC runs on the
+// symmetrized graph, per its kernel contract.
+func HybridStudy(cfg Config) ([]HybridRow, error) {
+	cfg.validate()
+	gs, err := Graphs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	threads := 4
+	rows := make([]HybridRow, 0, 12)
+	for _, d := range gen.AllDatasets() {
+		g := gs[d.String()]
+		src := PickSource(g)
+		weights := algorithms.NewSSSP(g, src, cfg.Seed).Weights
+		kernels := []struct {
+			name string
+			k    algorithms.Kernel
+		}{
+			{"wcc", algorithms.WCCKernel()},
+			{"bfs", algorithms.BFSKernel(src)},
+			{"sssp", algorithms.SSSPKernel(src, weights)},
+		}
+		for _, kc := range kernels {
+			kg := g
+			if kc.k.Undirected {
+				kg = g.Undirected()
+			}
+			e, err := hybrid.NewEngine(kg, threads)
+			if err != nil {
+				return nil, fmt.Errorf("hybrid %s/%s: %w", d, kc.name, err)
+			}
+			if cfg.Observer != nil {
+				e.Observe(cfg.Observer)
+			}
+			var last hybrid.Result
+			run := func() (time.Duration, error) {
+				best := time.Duration(1<<63 - 1)
+				for i := 0; i < 3; i++ {
+					res, err := e.Run(context.Background(), kc.k)
+					if err != nil {
+						return 0, fmt.Errorf("hybrid %s/%s: %w", d, kc.name, err)
+					}
+					if !res.Converged {
+						return 0, fmt.Errorf("hybrid %s/%s: did not converge", d, kc.name)
+					}
+					if res.Duration < best {
+						best = res.Duration
+					}
+					last = res
+				}
+				return best, nil
+			}
+			hybridT, err := run()
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			beamer := last
+			e.Policy = func(hybrid.Stats) hybrid.Direction { return hybrid.Push }
+			pushT, err := run()
+			e.Close()
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, HybridRow{
+				Graph:      d.String(),
+				Algo:       kc.name,
+				Threads:    threads,
+				Iterations: beamer.Iterations,
+				Switches:   beamer.Switches,
+				Trace:      beamer.SwitchTrace(),
+				Hybrid:     hybridT,
+				AllPush:    pushT,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -192,6 +192,93 @@ func TestSeedingManySourcesIsFast(t *testing.T) {
 	}
 }
 
+// NextSize must come from the running counter, not a popcount, and the two
+// must agree exactly after arbitrary concurrent Schedule storms — including
+// heavy duplicate posting, which must not double-count.
+func TestNextSizeCounterMatchesPopcountUnderStorm(t *testing.T) {
+	const n = 4096
+	f := NewFrontier(n)
+	deg := make([]uint32, n)
+	for v := range deg {
+		deg[v] = uint32(v % 7)
+	}
+	f.AttachOutDegrees(deg)
+	for round := 0; round < 3; round++ {
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Overlapping strided ranges: every vertex is posted by
+				// several workers, most posts are duplicates.
+				for i := w % 3; i < n; i += 1 + w%3 {
+					f.Schedule(i)
+				}
+			}(w)
+		}
+		wg.Wait()
+		var wantDeg int64
+		popcount := 0
+		for v := 0; v < n; v++ {
+			if f.PendingNext(v) {
+				popcount++
+				wantDeg += int64(deg[v])
+			}
+		}
+		if got := f.NextSize(); got != popcount {
+			t.Fatalf("round %d: NextSize = %d, popcount = %d", round, got, popcount)
+		}
+		if got := f.NextOutDegree(); got != wantDeg {
+			t.Fatalf("round %d: NextOutDegree = %d, want %d", round, got, wantDeg)
+		}
+		if got := f.Advance(); got != popcount {
+			t.Fatalf("round %d: Advance = %d, popcount = %d", round, got, popcount)
+		}
+		if f.Size() != popcount || f.CurrentOutDegree() != wantDeg {
+			t.Fatalf("round %d: current accounting (%d, %d) != (%d, %d)",
+				round, f.Size(), f.CurrentOutDegree(), popcount, wantDeg)
+		}
+		if f.NextSize() != 0 || f.NextOutDegree() != 0 {
+			t.Fatal("next accounting not reset by Advance")
+		}
+	}
+}
+
+// Seeding mutators maintain the O(1) accounting too, with duplicates
+// Test-guarded so they never double-count.
+func TestSeedingMaintainsDegreeAccounting(t *testing.T) {
+	f := NewFrontier(64)
+	deg := make([]uint32, 64)
+	for v := range deg {
+		deg[v] = uint32(v)
+	}
+	f.AttachOutDegrees(deg)
+	f.ScheduleNowAll([]int{3, 5, 3, 5}) // duplicates
+	if f.Size() != 2 || f.CurrentOutDegree() != 8 {
+		t.Fatalf("after seeding: size %d deg %d, want 2, 8", f.Size(), f.CurrentOutDegree())
+	}
+	f.LoadCurrent([]int{10, 20})
+	if f.Size() != 2 || f.CurrentOutDegree() != 30 {
+		t.Fatalf("after LoadCurrent: size %d deg %d, want 2, 30", f.Size(), f.CurrentOutDegree())
+	}
+	f.ScheduleAll()
+	var all int64
+	for _, d := range deg {
+		all += int64(d)
+	}
+	if f.Size() != 64 || f.CurrentOutDegree() != all {
+		t.Fatalf("after ScheduleAll: size %d deg %d, want 64, %d", f.Size(), f.CurrentOutDegree(), all)
+	}
+	// Attaching late reconciles accumulators from the bitsets.
+	g := NewFrontier(64)
+	g.ScheduleNowAll([]int{1, 2})
+	g.Schedule(4)
+	g.AttachOutDegrees(deg)
+	if g.CurrentOutDegree() != 3 || g.NextOutDegree() != 4 {
+		t.Fatalf("attach reconciliation: cur %d next %d, want 3, 4", g.CurrentOutDegree(), g.NextOutDegree())
+	}
+}
+
 func TestSeedingDoesNotAllocatePerCall(t *testing.T) {
 	f := NewFrontier(1 << 12)
 	f.ScheduleAll()

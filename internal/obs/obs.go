@@ -57,11 +57,13 @@ const (
 	// EngineNetdist is the real-transport multi-process distributed
 	// executor (TCP workers under coordinator supervision).
 	EngineNetdist
+	// EngineHybrid is the direction-optimizing push/pull engine.
+	EngineHybrid
 
 	numEngines
 )
 
-var engineNames = [numEngines]string{"core", "async", "shard", "dist", "push", "autonomous", "netdist"}
+var engineNames = [numEngines]string{"core", "async", "shard", "dist", "push", "autonomous", "netdist", "hybrid"}
 
 // String names the engine kind as used in metric labels and JSONL.
 func (k EngineKind) String() string {
@@ -122,6 +124,11 @@ type Event struct {
 	// injected duplicates, lossy-link retransmissions) for the sample;
 	// zero for every other engine.
 	Messages, Duplicates, Drops int64
+	// Direction is the edge-traversal direction the sample executed with,
+	// for engines that choose one per iteration (hybrid: "push" or
+	// "pull"). Empty for single-direction engines. Always a compile-time
+	// string constant so passing it allocates nothing.
+	Direction string
 	// TraceCommits and ContestedCommits are execution-path trace deltas
 	// for the sample, present when a commit-logging trace recorder is
 	// attached: edge commits recorded, and commits to an edge already

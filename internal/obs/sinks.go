@@ -76,6 +76,11 @@ func (s *JSONLSink) Consume(ev *Event) {
 	b = strconv.AppendInt(b, ev.BarrierWaitNanos, 10)
 	b = append(b, `,"duration_ns":`...)
 	b = strconv.AppendInt(b, ev.DurationNanos, 10)
+	if ev.Direction != "" {
+		b = append(b, `,"direction":"`...)
+		b = append(b, ev.Direction...)
+		b = append(b, '"')
+	}
 	if ev.Engine == EngineDist {
 		b = append(b, `,"messages":`...)
 		b = strconv.AppendInt(b, ev.Messages, 10)

@@ -1,6 +1,7 @@
 package push
 
 import (
+	"context"
 	"math"
 
 	"ndgraph/internal/edgedata"
@@ -20,7 +21,7 @@ func BFS(g *graph.Graph, source uint32, mode Mode, threads int) ([]float64, Resu
 	}
 	e.Vertices[source] = edgedata.FromFloat64(0)
 	e.Frontier().ScheduleNow(int(source))
-	res, err := e.Run(Relax{
+	res, err := e.Run(context.Background(), Relax{
 		Message: func(srcVal uint64, _ uint32) uint64 {
 			return edgedata.FromFloat64(edgedata.ToFloat64(srcVal) + 1)
 		},
@@ -45,7 +46,7 @@ func SSSP(g *graph.Graph, source uint32, weights []float64, mode Mode, threads i
 	}
 	e.Vertices[source] = edgedata.FromFloat64(0)
 	e.Frontier().ScheduleNow(int(source))
-	res, err := e.Run(Relax{
+	res, err := e.Run(context.Background(), Relax{
 		Message: func(srcVal uint64, eIdx uint32) uint64 {
 			return edgedata.FromFloat64(edgedata.ToFloat64(srcVal) + weights[eIdx])
 		},
@@ -70,7 +71,7 @@ func WCC(g *graph.Graph, mode Mode, threads int) ([]uint32, Result, error) {
 		e.Vertices[v] = uint64(v)
 	}
 	e.Frontier().ScheduleAll()
-	res, err := e.Run(Relax{
+	res, err := e.Run(context.Background(), Relax{
 		Message: func(srcVal uint64, _ uint32) uint64 { return srcVal },
 		Better:  func(c, cur uint64) bool { return c < cur },
 	})

@@ -21,6 +21,7 @@
 package push
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -85,6 +86,13 @@ type Engine struct {
 
 	front    *frontier.Frontier
 	maxIters int
+
+	// StallWindow enables the divergence watchdog, mirroring the core
+	// engine's: if the scheduled-vertex count reaches no new minimum for
+	// StallWindow consecutive iterations, Run aborts with an error
+	// wrapping core.ErrStalled and a diagnostic partial Result. 0 (the
+	// default) disables. Set before Run.
+	StallWindow int
 
 	// pool holds the persistent push workers, reused across iterations.
 	pool *sched.Pool
@@ -154,12 +162,15 @@ func (e *Engine) Close() {
 
 // Run pushes to quiescence: each iteration relaxes every out-edge of every
 // scheduled vertex; destinations that improve are scheduled for the next
-// iteration.
-func (e *Engine) Run(r Relax) (Result, error) {
+// iteration. ctx, when non-nil, cancels or deadlines the run: it is
+// checked at every iteration barrier and Run returns the partial Result
+// plus the context's error within one iteration of cancellation — the
+// same contract PR 1 gave the core/async/shard/dist engines.
+func (e *Engine) Run(ctx context.Context, r Relax) (Result, error) {
 	if r.Message == nil || r.Better == nil {
 		return Result{}, fmt.Errorf("push: Relax requires Message and Better")
 	}
-	var pushes, wins atomic.Int64
+	var pushes, wins, winners atomic.Int64
 	res := Result{Converged: true}
 	if e.pool == nil { // re-create after Close
 		e.pool = sched.NewPoolNamed(e.p, "push")
@@ -184,28 +195,58 @@ func (e *Engine) Run(r Relax) (Result, error) {
 		}
 		if uWins > 0 {
 			wins.Add(int64(uWins))
+			winners.Add(1)
 		}
 		if t := e.trace; t != nil {
 			t.Record(curIter, worker, v, uWins, srcVal)
 		}
 	}
 	start := time.Now()
+	finish := func() {
+		res.Pushes = pushes.Load()
+		res.Wins = wins.Load()
+		res.Duration = time.Since(start)
+	}
+	bestActive := e.g.N() + 1
+	stalled := 0
 	for e.front.Size() > 0 {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				res.Converged = false
+				finish()
+				return res, err
+			}
+		}
 		if res.Iterations >= e.maxIters {
 			res.Converged = false
 			break
 		}
+		if k := e.StallWindow; k > 0 {
+			if size := e.front.Size(); size < bestActive {
+				bestActive, stalled = size, 0
+			} else if stalled++; stalled >= k {
+				res.Converged = false
+				finish()
+				return res, fmt.Errorf("push: iteration %d: active vertices %d (best %d) unimproved for %d iterations: %w",
+					res.Iterations, e.front.Size(), bestActive, k, core.ErrStalled)
+			}
+		}
 		curIter = res.Iterations
 		members := e.front.Members()
-		prevPushes, prevWins := pushes.Load(), wins.Load()
+		prevPushes, prevWins, prevWinners := pushes.Load(), wins.Load(), winners.Load()
 		e.pool.RunBlocks(members, relax)
 		if o := e.observer; o != nil {
 			wall, wait := e.pool.TakeBarrierStats()
 			o.Emit(obs.Event{
-				Engine:           obs.EnginePush,
-				Iter:             int64(res.Iterations),
-				Scheduled:        int64(len(members)),
-				Updates:          int64(len(members)),
+				Engine:    obs.EnginePush,
+				Iter:      int64(res.Iterations),
+				Scheduled: int64(len(members)),
+				// Updates counts sources with at least one winning push,
+				// not every relaxed source: a source whose pushes all
+				// lose changed nothing, and counting it would inflate
+				// push-engine updates against the other engines' "state
+				// actually advanced" semantics.
+				Updates:          winners.Load() - prevWinners,
 				EdgeReads:        pushes.Load() - prevPushes,
 				EdgeWrites:       wins.Load() - prevWins,
 				RWConflicts:      -1,
@@ -218,9 +259,7 @@ func (e *Engine) Run(r Relax) (Result, error) {
 		res.Iterations++
 		e.front.Advance()
 	}
-	res.Pushes = pushes.Load()
-	res.Wins = wins.Load()
-	res.Duration = time.Since(start)
+	finish()
 	return res, nil
 }
 

@@ -1,11 +1,16 @@
 package push
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"ndgraph/internal/algorithms"
+	"ndgraph/internal/core"
 	"ndgraph/internal/gen"
+	"ndgraph/internal/obs"
 )
 
 func TestNewEngineValidation(t *testing.T) {
@@ -27,7 +32,7 @@ func TestRunRequiresRelaxFuncs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Run(Relax{}); err == nil {
+	if _, err := e.Run(context.Background(), Relax{}); err == nil {
 		t.Fatal("empty Relax accepted")
 	}
 }
@@ -164,5 +169,190 @@ func BenchmarkPushBFS(b *testing.B) {
 		if _, _, err := BFS(g, 0, ModeCAS, 4); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// nonQuiescing is a relax that reschedules every relaxed vertex forever:
+// Better always accepts, so the frontier never drains. Message sleeps a
+// little per call to keep individual iterations slow enough that the
+// watchdog/cancellation paths, not the iteration cap, end the run.
+func nonQuiescing() Relax {
+	return Relax{
+		Message: func(srcVal uint64, _ uint32) uint64 {
+			time.Sleep(20 * time.Microsecond)
+			return srcVal
+		},
+		Better: func(_, _ uint64) bool { return true },
+	}
+}
+
+// Cancelling the context must end a non-quiescing run promptly (within one
+// iteration of the cancel) with the context's error and Converged=false —
+// the same contract PR 1 gave the core/async/shard/dist engines.
+func TestPushContextCancellation(t *testing.T) {
+	g, err := gen.Ring(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, ModeCAS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Frontier().ScheduleAll()
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(10*time.Millisecond, cancel)
+	start := time.Now()
+	res, err := e.Run(ctx, nonQuiescing())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Converged {
+		t.Fatal("cancelled run reported Converged")
+	}
+	if res.Iterations == 0 {
+		t.Fatal("run returned before doing any work (cancel should land mid-run)")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v — not prompt", elapsed)
+	}
+}
+
+// An already-expired deadline must return before the first iteration.
+func TestPushContextPreExpired(t *testing.T) {
+	g, err := gen.Ring(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, ModeCAS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Frontier().ScheduleAll()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := e.Run(ctx, nonQuiescing())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Iterations != 0 || res.Pushes != 0 {
+		t.Fatalf("pre-cancelled run did work: %+v", res)
+	}
+}
+
+// StallWindow must abort a run whose active-vertex count stops reaching
+// new minima, wrapping core.ErrStalled like the other engines.
+func TestPushStallWatchdog(t *testing.T) {
+	g, err := gen.Ring(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, ModeCAS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.StallWindow = 4
+	e.Frontier().ScheduleAll()
+	res, err := e.Run(context.Background(), Relax{
+		Message: func(srcVal uint64, _ uint32) uint64 { return srcVal },
+		Better:  func(_, _ uint64) bool { return true },
+	})
+	if !errors.Is(err, core.ErrStalled) {
+		t.Fatalf("err = %v, want core.ErrStalled", err)
+	}
+	if res.Converged {
+		t.Fatal("stalled run reported Converged")
+	}
+	// Pass 0 establishes the best size; the watchdog trips at the barrier
+	// entering pass StallWindow, after StallWindow full iterations ran.
+	if res.Iterations != 4 {
+		t.Fatalf("Iterations = %d, want %d", res.Iterations, e.StallWindow)
+	}
+}
+
+// A converging run with a StallWindow wider than the run must finish
+// cleanly with no stall error.
+func TestPushStallWatchdogDoesNotTripConvergingRun(t *testing.T) {
+	g, err := gen.Chain(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, ModeCAS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.StallWindow = 100 // wider than the 40-iteration chain sweep
+	for v := range e.Vertices {
+		e.Vertices[v] = math.MaxUint64
+	}
+	e.Vertices[0] = 0
+	e.Frontier().ScheduleNow(0)
+	res, err := e.Run(context.Background(), Relax{
+		Message: func(srcVal uint64, _ uint32) uint64 { return srcVal + 1 },
+		Better:  func(c, cur uint64) bool { return c < cur },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	for v := range e.Vertices {
+		if want := uint64(v); e.Vertices[v] != want {
+			t.Fatalf("vertex %d = %d, want %d", v, e.Vertices[v], want)
+		}
+	}
+}
+
+// Telemetry must count sources with at least one winning push, not every
+// relaxed source. On a 10-vertex chain BFS the frontier always holds one
+// vertex; every iteration but the last wins exactly one push, and the
+// final iteration (the chain's sink, no out-edges) wins none — so summed
+// Updates is n-1 and the last event reports 0, not its frontier size.
+func TestPushTelemetryCountsWinningSourcesOnly(t *testing.T) {
+	const n = 10
+	g, err := gen.Chain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, ModeCAS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	o := obs.New(obs.Options{RingSize: 64})
+	defer o.Close()
+	e.Observe(o)
+	for v := range e.Vertices {
+		e.Vertices[v] = math.MaxUint64
+	}
+	e.Vertices[0] = 0
+	e.Frontier().ScheduleNow(0)
+	res, err := e.Run(context.Background(), Relax{
+		Message: func(srcVal uint64, _ uint32) uint64 { return srcVal + 1 },
+		Better:  func(c, cur uint64) bool { return c < cur },
+	})
+	if err != nil || !res.Converged {
+		t.Fatalf("run: %v (converged=%v)", err, res.Converged)
+	}
+	evs := o.Events()
+	if len(evs) != n {
+		t.Fatalf("got %d events, want %d", len(evs), n)
+	}
+	var updates int64
+	for _, ev := range evs {
+		if ev.Scheduled != 1 {
+			t.Fatalf("iter %d: Scheduled = %d, want 1", ev.Iter, ev.Scheduled)
+		}
+		updates += ev.Updates
+	}
+	if updates != n-1 {
+		t.Fatalf("summed Updates = %d, want %d (winning sources only)", updates, n-1)
+	}
+	if last := evs[len(evs)-1]; last.Updates != 0 {
+		t.Fatalf("final iteration Updates = %d, want 0 (sink wins nothing)", last.Updates)
 	}
 }

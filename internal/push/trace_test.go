@@ -1,6 +1,7 @@
 package push
 
 import (
+	"context"
 	"testing"
 
 	"ndgraph/internal/gen"
@@ -27,7 +28,7 @@ func TestPushTraceRecordsRelaxations(t *testing.T) {
 		e.Vertices[v] = uint64(v)
 	}
 	e.Frontier().ScheduleAll()
-	res, err := e.Run(Relax{
+	res, err := e.Run(context.Background(), Relax{
 		Message: func(srcVal uint64, _ uint32) uint64 { return srcVal },
 		Better:  func(c, cur uint64) bool { return c < cur },
 	})

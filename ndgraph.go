@@ -42,6 +42,7 @@ import (
 	"ndgraph/internal/fault"
 	"ndgraph/internal/gen"
 	"ndgraph/internal/graph"
+	"ndgraph/internal/hybrid"
 	"ndgraph/internal/loader"
 	"ndgraph/internal/metrics"
 	"ndgraph/internal/netdist"
@@ -462,4 +463,43 @@ var (
 	PushSSSP = push.SSSP
 	// PushWCC runs push-mode WCC.
 	PushWCC = push.WCC
+)
+
+// Direction-optimizing hybrid execution: per-iteration push/pull choice
+// over paired kernels (Beamer-style frontier-density thresholds).
+type (
+	// HybridEngine chooses push or pull at every iteration barrier.
+	HybridEngine = hybrid.Engine
+	// HybridDirection is the per-iteration traversal direction.
+	HybridDirection = hybrid.Direction
+	// HybridStats is the barrier snapshot a HybridPolicy decides from.
+	HybridStats = hybrid.Stats
+	// HybridPolicy chooses the direction for one iteration.
+	HybridPolicy = hybrid.Policy
+	// HybridResult summarizes a hybrid run, including the direction
+	// sequence (SwitchTrace).
+	HybridResult = hybrid.Result
+	// Kernel is a paired push/pull monotone vertex program.
+	Kernel = algorithms.Kernel
+)
+
+// Hybrid traversal directions.
+const (
+	// HybridPush relaxes out-edges of the scheduled set.
+	HybridPush = hybrid.Push
+	// HybridPull gathers from scheduled in-neighbors.
+	HybridPull = hybrid.Pull
+)
+
+var (
+	// NewHybridEngine builds a direction-optimizing engine.
+	NewHybridEngine = hybrid.NewEngine
+	// HybridBeamerPolicy builds the classic threshold policy with
+	// hysteresis; alpha or beta <= 0 select the Beamer defaults.
+	HybridBeamerPolicy = hybrid.BeamerPolicy
+	// WCCKernel, BFSKernel, and SSSPKernel are the paired push/pull
+	// kernels of the registry in internal/algorithms.
+	WCCKernel  = algorithms.WCCKernel
+	BFSKernel  = algorithms.BFSKernel
+	SSSPKernel = algorithms.SSSPKernel
 )

@@ -5,10 +5,11 @@
 // the paper's thesis as a single table:
 //
 //	{WCC, SSSP, BFS, k-core} × {core-nondet(lock), core-nondet(atomic),
-//	async, shard (PSW), push (CAS)}  → identical converged values
+//	async, shard (PSW), push (CAS), hybrid (direction-optimizing)}
+//	                                 → identical converged values
 //	PageRank × {core variants}       → agreement within ε
 //
-// Two deliberate exclusions, asserted by TestCrossEngineCoverageManifest:
+// Three deliberate exclusions, asserted by TestCrossEngineCoverageManifest:
 //
 //   - shard × weighted SSSP: the PSW view's OutEdgeID returns
 //     window-local value slots, not canonical edge indices, so an
@@ -19,6 +20,9 @@
 //   - push × k-core: the h-index update gathers all neighbor estimates
 //     at once; it has no expression as push's unary Relax(candidate,
 //     current) monotone merge.
+//   - hybrid × k-core: same structural reason — the hybrid engine runs
+//     paired push/pull kernels built from the unary Message/Better merge,
+//     which cannot express the h-index gather either.
 //
 // Graphs are seeded R-MAT (skewed) and banded (near-uniform, local), so
 // both conflict regimes of the paper's evaluation are exercised. Only
@@ -27,6 +31,7 @@
 package ndgraph_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -37,6 +42,7 @@ import (
 	"ndgraph/internal/edgedata"
 	"ndgraph/internal/gen"
 	"ndgraph/internal/graph"
+	"ndgraph/internal/hybrid"
 	"ndgraph/internal/push"
 	"ndgraph/internal/sched"
 	"ndgraph/internal/shard"
@@ -142,6 +148,26 @@ func runShardWords(t *testing.T, g *graph.Graph, update core.UpdateFunc, init fu
 	return append([]uint64(nil), st.Vertices...)
 }
 
+// runHybridWords runs a paired push/pull kernel on the direction-
+// optimizing engine under an alternating direction policy, so every
+// differential run genuinely crosses direction switches — the default
+// Beamer policy only pulls for bottom-up kernels (BFS), which would leave
+// the WCC and SSSP rows exercising nothing but the push sweep.
+func runHybridWords(t *testing.T, g *graph.Graph, k algorithms.Kernel) []uint64 {
+	t.Helper()
+	e, err := hybrid.NewEngine(g, diffThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Policy = func(s hybrid.Stats) hybrid.Direction { return hybrid.Direction(s.Iter % 2) }
+	res, err := e.Run(context.Background(), k)
+	if err != nil || !res.Converged {
+		t.Fatalf("hybrid %s: %v (converged=%v)", k.Name, err, res.Converged)
+	}
+	return append([]uint64(nil), e.Vertices...)
+}
+
 func wordsToLabels(words []uint64) []uint32 {
 	out := make([]uint32, len(words))
 	for v, w := range words {
@@ -221,6 +247,11 @@ func TestCrossEngineDifferentialWCC(t *testing.T) {
 				t.Fatalf("push: %v", err)
 			}
 			checkLabels(t, "push", labels, want)
+
+			// hybrid runs WCC on the symmetrized graph, like push does
+			// internally (Kernel.Undirected).
+			checkLabels(t, "hybrid",
+				wordsToLabels(runHybridWords(t, g.Undirected(), algorithms.WCCKernel())), want)
 		})
 	}
 }
@@ -261,6 +292,9 @@ func TestCrossEngineDifferentialBFS(t *testing.T) {
 				t.Fatalf("push: %v", err)
 			}
 			checkFloats(t, "push", dists, want)
+
+			checkFloats(t, "hybrid",
+				wordsToFloats(runHybridWords(t, g, algorithms.BFSKernel(src))), want)
 		})
 	}
 }
@@ -284,6 +318,9 @@ func TestCrossEngineDifferentialSSSP(t *testing.T) {
 				t.Fatalf("push: %v", err)
 			}
 			checkFloats(t, "push", got, want)
+
+			checkFloats(t, "hybrid",
+				wordsToFloats(runHybridWords(t, g, algorithms.SSSPKernel(src, ref.Weights))), want)
 		})
 	}
 }
@@ -356,9 +393,9 @@ func TestCrossEngineDifferentialPageRank(t *testing.T) {
 
 // TestCrossEngineCoverageManifest pins the grid so a silently dropped
 // engine or algorithm cannot pass review: 4 exact-agreement algorithms,
-// 2 parallel core modes, 4 graph instances, and exactly the 2 documented
-// exclusions (shard × weighted SSSP, push × k-core) — see the package
-// comment for why each is structural, not an omission.
+// 2 parallel core modes, 4 graph instances, and exactly the 3 documented
+// exclusions (shard × weighted SSSP, push × k-core, hybrid × k-core) —
+// see the package comment for why each is structural, not an omission.
 func TestCrossEngineCoverageManifest(t *testing.T) {
 	if n := len(diffCoreEngines()); n != 2 {
 		t.Fatalf("parallel core engine variants = %d, want 2 (lock, atomic)", n)
@@ -368,14 +405,15 @@ func TestCrossEngineCoverageManifest(t *testing.T) {
 	}
 	// engine coverage per algorithm: core-det + 2 core-nondet + the others
 	covered := map[string][]string{
-		"wcc":   {"core-det", "core-nondet-lock", "core-nondet-atomic", "async", "shard", "push"},
-		"bfs":   {"core-det", "core-nondet-lock", "core-nondet-atomic", "async", "shard", "push"},
-		"sssp":  {"core-det", "core-nondet-lock", "core-nondet-atomic", "async", "push"},
+		"wcc":   {"core-det", "core-nondet-lock", "core-nondet-atomic", "async", "shard", "push", "hybrid"},
+		"bfs":   {"core-det", "core-nondet-lock", "core-nondet-atomic", "async", "shard", "push", "hybrid"},
+		"sssp":  {"core-det", "core-nondet-lock", "core-nondet-atomic", "async", "push", "hybrid"},
 		"kcore": {"core-det", "core-nondet-lock", "core-nondet-atomic", "async", "shard"},
 	}
 	excluded := map[string]string{
-		"shard/sssp": "OutEdgeID is window-local; canonical-edge-indexed Weights would misroute",
-		"push/kcore": "h-index gather is not expressible as a unary Relax merge",
+		"shard/sssp":   "OutEdgeID is window-local; canonical-edge-indexed Weights would misroute",
+		"push/kcore":   "h-index gather is not expressible as a unary Relax merge",
+		"hybrid/kcore": "paired kernels share the unary Message/Better merge, which cannot express the h-index gather",
 	}
 	for alg, engines := range covered {
 		for _, e := range engines {
@@ -384,7 +422,7 @@ func TestCrossEngineCoverageManifest(t *testing.T) {
 			}
 		}
 	}
-	if len(excluded) != 2 {
-		t.Fatalf("exclusions = %d, want exactly 2", len(excluded))
+	if len(excluded) != 3 {
+		t.Fatalf("exclusions = %d, want exactly 3", len(excluded))
 	}
 }

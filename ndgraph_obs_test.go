@@ -7,6 +7,7 @@
 package ndgraph_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -107,7 +108,7 @@ func TestObserverCountsEveryEngine(t *testing.T) {
 			e.Vertices[v] = uint64(v)
 		}
 		e.Frontier().ScheduleAll()
-		res, err := e.Run(push.Relax{
+		res, err := e.Run(context.Background(), push.Relax{
 			Message: func(srcVal uint64, _ uint32) uint64 { return srcVal },
 			Better:  func(c, cur uint64) bool { return c < cur },
 		})

@@ -465,3 +465,79 @@ func BenchmarkBFSEngines(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkNoSyncEngines is the acceptance pipeline for the work-stealing
+// no-sync tier (BENCH_PR8.json): WCC — every vertex seeded, maximal
+// scheduling traffic — through the channel-based async executor and the
+// work-stealing executor at 8 threads on each benchmark graph, alongside
+// the parallel core engine for context. The channel executor serializes
+// every schedule and receive through one channel; the per-worker deques
+// must beat it on at least 3 of the 4 graphs.
+func BenchmarkNoSyncEngines(b *testing.B) {
+	gs := getGraphs(b)
+	const threads = 8
+	for _, d := range gen.AllDatasets() {
+		g := gs[d.String()]
+		b.Run(fmt.Sprintf("%s/core-nondet/P%d", d, threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := algorithms.NewWCC()
+				_, res, err := algorithms.Run(a, g, core.Options{
+					Scheduler: sched.Nondeterministic, Threads: threads, Mode: edgedata.ModeAtomic,
+				})
+				if err != nil || !res.Converged {
+					b.Fatalf("core-nondet: %v", err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/async/P%d", d, threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := algorithms.NewWCC()
+				seed, err := core.NewEngine(g, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				a.Setup(seed)
+				x, err := async.NewExecutor(g, async.Options{Threads: threads, Mode: edgedata.ModeAtomic})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := x.LoadFrom(seed); err != nil {
+					b.Fatal(err)
+				}
+				res, err := x.Run(a.Update)
+				x.Close()
+				if err != nil || !res.Converged {
+					b.Fatalf("async: %v", err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/nosync/P%d", d, threads), func(b *testing.B) {
+			a := algorithms.NewWCC()
+			v, err := algorithms.NoSyncVerdict(a, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				seed, err := core.NewEngine(g, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				a.Setup(seed)
+				x, err := async.NewNoSync(g, async.NoSyncOptions{
+					Threads: threads, Mode: edgedata.ModeAtomic, Verdict: &v,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := x.LoadFrom(seed); err != nil {
+					b.Fatal(err)
+				}
+				res, err := x.Run(a.Update)
+				x.Close()
+				if err != nil || !res.Converged {
+					b.Fatalf("nosync: %v", err)
+				}
+			}
+		})
+	}
+}

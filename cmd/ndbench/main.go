@@ -14,6 +14,7 @@
 //	ndbench -exp topk                 # top-K rank agreement
 //	ndbench -exp netdist              # TCP worker processes + fault injection
 //	ndbench -exp hybrid               # direction-optimizing engine sweep
+//	ndbench -exp nosync               # work-stealing no-sync tier sweep + drift
 //
 // Common flags: -scale (dataset scale divisor, default 50), -seed,
 // -threads (comma list), -runs, -eps (comma list of ε).
@@ -56,7 +57,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ndbench", flag.ContinueOnError)
 	var exps expList
-	fs.Var(&exps, "exp", "experiment to run: all, table1, fig3, table2, table3, conflicts, iters, async, topk, ablate, psw, dist, netdist, fpvar, precision, divergence, hybrid (repeatable)")
+	fs.Var(&exps, "exp", "experiment to run: all, table1, fig3, table2, table3, conflicts, iters, async, topk, ablate, psw, dist, netdist, fpvar, precision, divergence, hybrid, nosync (repeatable)")
 	scale := fs.Int("scale", 50, "dataset scale divisor (1 = full paper size)")
 	seed := fs.Uint64("seed", 42, "master random seed")
 	threadsFlag := fs.String("threads", "1,2,4,8,16", "comma-separated worker counts for Fig. 3")
@@ -188,6 +189,39 @@ func run(args []string, out io.Writer) error {
 	}
 	if all || want["hybrid"] {
 		if err := printHybrid(out, cfg); err != nil {
+			return err
+		}
+	}
+	if all || want["nosync"] {
+		if err := printNoSync(out, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printNoSync(out io.Writer, cfg experiments.Config) error {
+	scale, drift, err := experiments.NoSyncStudy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "\n=== Extension: barrier-free work-stealing (no-sync) tier ===")
+	fmt.Fprintln(out, "BFS scaling sweep, best of 3; updates are engine-specific work units")
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "graph\tengine\tthreads\ttime\tupdates\tsteals\tidle-trans")
+	for _, r := range scale {
+		fmt.Fprintf(w, "%s\t%s\t%d\t%v\t%d\t%d\t%d\n",
+			r.Graph, r.Engine, r.Threads, r.Time.Round(10*time.Microsecond),
+			r.Updates, r.Steals, r.IdleTransitions)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "\nexecution drift vs deterministic reference (WCC, trace-diffed):")
+	for _, r := range drift {
+		fmt.Fprintf(out, "\n%s, %d threads (det %d events vs nosync %d, results identical: %v):\n",
+			r.Graph, r.Threads, r.DetEvents, r.NoSyncEvents, r.ResultsEqual)
+		if err := r.Report.WriteReport(out); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,25 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"ndgraph/internal/eligibility"
+	"ndgraph/internal/graph"
+)
+
+// NoSyncVerdict obtains the eligibility verdict that admits (or refuses)
+// a to the barrier-free no-sync tier. Registered algorithms get the
+// static verdict — a worst case over all graphs, so an ELIGIBLE answer
+// holds for every input without running anything. Unregistered algorithms
+// fall back to an instrumented probe run on g, which observes the actual
+// potential conflicts of this input.
+func NoSyncVerdict(a Algorithm, g *graph.Graph) (eligibility.Verdict, error) {
+	if sp, ok := StaticProfiles()[a.Name()]; ok {
+		return eligibility.AdviseStatic(a.Properties(), sp), nil
+	}
+	_, v, err := Probe(a, g)
+	if err != nil {
+		return eligibility.Verdict{}, fmt.Errorf("algorithms: %s: probe for no-sync admission: %w", a.Name(), err)
+	}
+	return v, nil
+}

@@ -1,0 +1,66 @@
+package algorithms
+
+import (
+	"testing"
+
+	"ndgraph/internal/eligibility"
+	"ndgraph/internal/gen"
+)
+
+func TestNoSyncVerdictStaticRoutes(t *testing.T) {
+	g, _ := gen.Ring(16)
+	cases := []struct {
+		a        Algorithm
+		eligible bool
+		theorem  int
+	}{
+		{NewWCC(), true, 2},
+		{NewBFS(g, 0), true, 1},
+		{NewPageRank(1e-4), true, 1},
+		{NewColoring(), false, 0},
+	}
+	for _, c := range cases {
+		v, err := NoSyncVerdict(c.a, g)
+		if err != nil {
+			t.Fatalf("%s: %v", c.a.Name(), err)
+		}
+		if v.Eligible != c.eligible || v.Theorem != c.theorem {
+			t.Errorf("%s: verdict = eligible=%v theorem=%d, want %v/%d",
+				c.a.Name(), v.Eligible, v.Theorem, c.eligible, c.theorem)
+		}
+		if v.Source != "static" {
+			t.Errorf("%s: source = %q, want static (registered algorithm)", c.a.Name(), v.Source)
+		}
+	}
+}
+
+// unregistered wraps WCC under a name outside the static registry, forcing
+// NoSyncVerdict down the probe path.
+type unregistered struct{ *WCC }
+
+func (*unregistered) Name() string { return "wcc-unregistered" }
+
+func (u *unregistered) Properties() eligibility.Properties {
+	p := u.WCC.Properties()
+	p.Name = "wcc-unregistered"
+	return p
+}
+
+func TestNoSyncVerdictProbeFallback(t *testing.T) {
+	g, err := gen.RMAT(120, 700, gen.DefaultRMAT, 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NoSyncVerdict(&unregistered{NewWCC()}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Source != "probe" {
+		t.Fatalf("source = %q, want probe (unregistered algorithm)", v.Source)
+	}
+	if !v.Eligible || v.Theorem != 2 {
+		t.Fatalf("probe verdict = %+v, want Theorem 2 eligible", v)
+	}
+}
+
+var _ Algorithm = (*unregistered)(nil)

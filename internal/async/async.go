@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -67,6 +68,16 @@ type Options struct {
 	// no iterations, so every event records iteration 0; capture order is
 	// the real execution order the queue produced.
 	Trace *trace.Recorder
+	// QueueCap bounds the shared channel's capacity; 0 picks the default
+	// min(N + Threads + 1, 1<<14). Historically the queue was always
+	// allocated at N+Threads+1 — a per-Run O(N) allocation — because a
+	// schedule was an unconditional blocking send: with any smaller
+	// capacity, a worker whose update re-enqueued vertices into a full
+	// queue blocked inside the update while every other worker could block
+	// the same way, deadlocking the run. Sends now spill to an overflow
+	// list instead of blocking (see Executor.send), so any capacity ≥ 1 is
+	// safe and the default stays modest.
+	QueueCap int
 }
 
 // Result summarizes a barrier-free run.
@@ -89,11 +100,19 @@ type Executor struct {
 	pending *frontier.Bitset
 	active  *frontier.Bitset
 	queue   chan int
-	inFlite atomic.Int64
-	updates atomic.Int64
-	stopped atomic.Bool
-	samples atomic.Int64 // telemetry sample sequence
-	seeds   []int
+	// overflow holds scheduled vertices that found the channel full; the
+	// pair (append + refill) under ovMu plus a refill after every receive
+	// maintains the invariant "channel full OR overflow empty", so no task
+	// can strand while workers sleep on an empty channel. ovCount mirrors
+	// len(overflow) for a lock-free fast path.
+	ovMu     sync.Mutex
+	overflow []int
+	ovCount  atomic.Int64
+	inFlite  atomic.Int64
+	updates  atomic.Int64
+	stopped  atomic.Bool
+	samples  atomic.Int64 // telemetry sample sequence
+	seeds    []int
 
 	// pool hosts the drain loops: repeated Runs reuse the same parked
 	// workers instead of spawning Threads goroutines per call.
@@ -190,8 +209,55 @@ func (x *Executor) schedule(v int) {
 	}
 	if x.pending.SetAtomic(v) {
 		x.inFlite.Add(1)
-		x.queue <- v
+		x.send(v)
 	}
+}
+
+// send delivers a scheduled vertex without ever blocking the caller. The
+// fast path is a non-blocking channel send; when the channel is full the
+// vertex joins the overflow list, and the same critical section refills
+// the channel so the "channel full OR overflow empty" invariant is
+// restored before the lock drops. Blocking here deadlocked the old
+// executor under small queue capacities: the sender is a worker holding an
+// active-vertex claim mid-update, so with all workers blocked in sends
+// nobody was left to receive.
+func (x *Executor) send(v int) {
+	select {
+	case x.queue <- v:
+		return
+	default:
+	}
+	x.ovMu.Lock()
+	x.overflow = append(x.overflow, v)
+	x.fillLocked()
+	x.ovMu.Unlock()
+}
+
+// fill drains overflow into the channel; called by workers after each
+// receive (every receive frees exactly the capacity one overflow task
+// needs). The atomic count keeps the common empty-overflow case lock-free.
+func (x *Executor) fill() {
+	if x.ovCount.Load() == 0 {
+		return
+	}
+	x.ovMu.Lock()
+	x.fillLocked()
+	x.ovMu.Unlock()
+}
+
+// fillLocked moves overflow tasks into the channel until one side is
+// exhausted. Caller holds ovMu.
+func (x *Executor) fillLocked() {
+	for len(x.overflow) > 0 {
+		select {
+		case x.queue <- x.overflow[len(x.overflow)-1]:
+			x.overflow = x.overflow[:len(x.overflow)-1]
+		default:
+			x.ovCount.Store(int64(len(x.overflow)))
+			return
+		}
+	}
+	x.ovCount.Store(0)
 }
 
 // Run drains the computation to quiescence and returns statistics. The
@@ -220,9 +286,19 @@ func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
 	if x.pool == nil { // re-create after Close
 		x.pool = sched.NewPoolNamed(x.opts.Threads, "async")
 	}
-	// Queue capacity: every vertex can be pending at most once, plus one
-	// slot per worker for re-enqueues racing the pending-bit clear.
-	x.queue = make(chan int, x.g.N()+x.opts.Threads+1)
+	// Queue capacity: a vertex can be pending at most once, so N+Threads+1
+	// can never overflow — but allocating that per Run is O(N). The
+	// default caps the channel at 16Ki slots and lets the overflow list
+	// absorb the (rare) excess on larger graphs.
+	cap := x.opts.QueueCap
+	if cap <= 0 {
+		if cap = x.g.N() + x.opts.Threads + 1; cap > 1<<14 {
+			cap = 1 << 14
+		}
+	}
+	x.queue = make(chan int, cap)
+	x.overflow = x.overflow[:0]
+	x.ovCount.Store(0)
 	x.stopped.Store(false)
 	x.inFlite.Store(0)
 	x.updates.Store(0)
@@ -236,6 +312,9 @@ func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
 	x.pool.RunEach(func(w int) {
 		vw := &x.views[w]
 		for v := range x.queue {
+			// The receive freed a slot; restore "channel full OR overflow
+			// empty" before doing anything that could block on this task.
+			x.fill()
 			x.pending.ClearAtomic(v)
 			if ctx := x.opts.Context; ctx != nil && ctx.Err() != nil {
 				// Cancellation: stop running updates and scheduling new
@@ -248,7 +327,7 @@ func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
 				// someone already re-pended it, in which case this
 				// unit is redundant and simply retires.
 				if x.pending.SetAtomic(v) {
-					x.queue <- v
+					x.send(v)
 					runtime.Gosched()
 					continue
 				}

@@ -118,6 +118,30 @@ func (v Verdict) String() string {
 	return b.String()
 }
 
+// NoSync gates admission to the barrier-free work-stealing execution tier:
+// the tier runs with no iteration barriers, no locks, and no coordination
+// beyond per-word atomicity, so only algorithms covered by one of the
+// paper's sufficient conditions (Theorem 1: RW-only conflicts + a
+// convergence premise; Theorem 2: monotone + det-async convergence) may
+// opt in. A nil receiver is "no verdict was obtained" and is refused —
+// callers must probe or statically analyze before going barrier-free.
+func (v *Verdict) NoSync() error {
+	if v == nil {
+		return fmt.Errorf("eligibility: no-sync execution requires an eligibility verdict (run Probe or AdviseStatic first)")
+	}
+	if !v.Eligible {
+		msg := "eligibility: algorithm is NOT ELIGIBLE for nondeterministic execution; no-sync tier refused"
+		if len(v.Reasons) > 0 {
+			msg += ": " + strings.Join(v.Reasons, "; ")
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	if v.Theorem != 1 && v.Theorem != 2 {
+		return fmt.Errorf("eligibility: verdict eligible but covered by no known theorem (%d); no-sync tier refused", v.Theorem)
+	}
+	return nil
+}
+
 // Advise applies the paper's sufficient conditions to the declared
 // properties and observed conflicts.
 func Advise(p Properties, c ConflictProfile) Verdict {

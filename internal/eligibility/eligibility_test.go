@@ -106,3 +106,26 @@ func TestConditionString(t *testing.T) {
 		t.Fatal("Condition.String mismatch")
 	}
 }
+
+func TestVerdictNoSyncGate(t *testing.T) {
+	var nilV *Verdict
+	if err := nilV.NoSync(); err == nil {
+		t.Error("nil verdict admitted")
+	}
+	bad := &Verdict{Eligible: false, Reasons: []string{"WW without monotonicity", "no det-async premise"}}
+	if err := bad.NoSync(); err == nil {
+		t.Error("ineligible verdict admitted")
+	} else if !strings.Contains(err.Error(), "WW without monotonicity") {
+		t.Errorf("refusal lost the verdict's reasons: %v", err)
+	}
+	malformed := &Verdict{Eligible: true, Theorem: 3}
+	if err := malformed.NoSync(); err == nil {
+		t.Error("unknown-theorem verdict admitted")
+	}
+	for _, th := range []int{1, 2} {
+		ok := &Verdict{Eligible: true, Theorem: th}
+		if err := ok.NoSync(); err != nil {
+			t.Errorf("Theorem %d verdict refused: %v", th, err)
+		}
+	}
+}

@@ -407,3 +407,39 @@ func TestPrecisionStudy(t *testing.T) {
 		}
 	}
 }
+
+func TestNoSyncStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full engine sweep")
+	}
+	scale, drift, err := NoSyncStudy(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 graphs x 5 engines x 2 thread counts.
+	if want := 4 * len(NoSyncEngines()) * 2; len(scale) != want {
+		t.Fatalf("scale rows = %d, want %d", len(scale), want)
+	}
+	for _, r := range scale {
+		if r.Time <= 0 || r.Updates == 0 {
+			t.Fatalf("row %+v did no work", r)
+		}
+		if r.Engine != "nosync" && (r.Steals != 0 || r.IdleTransitions != 0) {
+			t.Fatalf("row %+v reports steals for a non-stealing engine", r)
+		}
+	}
+	if len(drift) != 4 {
+		t.Fatalf("drift rows = %d, want 4", len(drift))
+	}
+	for _, r := range drift {
+		if !r.ResultsEqual {
+			t.Fatalf("%s: no-sync WCC fixed point differs from deterministic reference", r.Graph)
+		}
+		if r.DetEvents == 0 || r.NoSyncEvents == 0 {
+			t.Fatalf("%s: empty trace recorded", r.Graph)
+		}
+		if r.Report == nil {
+			t.Fatalf("%s: missing diff report", r.Graph)
+		}
+	}
+}

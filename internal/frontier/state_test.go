@@ -1,0 +1,135 @@
+package frontier
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStatesEpisode(t *testing.T) {
+	st := NewStates(4)
+	if st.Len() != 4 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	// Idle → Scheduled: first post wins, duplicates coalesce.
+	if !st.Post(1) {
+		t.Fatal("first Post should claim the enqueue")
+	}
+	if st.Post(1) {
+		t.Fatal("duplicate Post on Scheduled must coalesce")
+	}
+	st.Begin(1)
+	if st.Load(1) != StateRunning {
+		t.Fatalf("state after Begin = %d", st.Load(1))
+	}
+	// No mid-run wakeup: Finish retires to Idle.
+	if st.Finish(1) {
+		t.Fatal("Finish without mid-run Post must not re-queue")
+	}
+	if st.Load(1) != StateIdle {
+		t.Fatalf("state after Finish = %d", st.Load(1))
+	}
+
+	// Mid-run wakeup: Running → RunningDirty → re-queue at Finish.
+	if !st.Post(2) {
+		t.Fatal("Post on Idle")
+	}
+	st.Begin(2)
+	if st.Post(2) {
+		t.Fatal("mid-run Post must coalesce, not enqueue")
+	}
+	if st.Load(2) != StateRunningDirty {
+		t.Fatalf("state after mid-run Post = %d", st.Load(2))
+	}
+	if st.Post(2) {
+		t.Fatal("second mid-run Post must coalesce")
+	}
+	if !st.Finish(2) {
+		t.Fatal("Finish after mid-run Post must re-queue")
+	}
+	if st.Load(2) != StateScheduled {
+		t.Fatalf("state after dirty Finish = %d", st.Load(2))
+	}
+
+	st.Reset()
+	if st.Load(2) != StateIdle {
+		t.Fatal("Reset did not idle")
+	}
+}
+
+// TestStatesNoLostWakeup drives one vertex through many concurrent Post
+// storms against a runner loop and checks the protocol's core promise:
+// every Post that could have observed new data is followed by a run, and
+// the vertex never holds more than one queue slot.
+func TestStatesNoLostWakeup(t *testing.T) {
+	st := NewStates(1)
+	var (
+		slots    atomic.Int64 // current queue slots for vertex 0
+		runs     atomic.Int64
+		posts    atomic.Int64
+		maxSlots atomic.Int64
+	)
+	enqueue := func() {
+		if n := slots.Add(1); n > maxSlots.Load() {
+			maxSlots.Store(n)
+		}
+	}
+	const posters = 4
+	const perPoster = 5000
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	// Runner: consume queue slots, run, honor re-queue requests.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if slots.Load() > 0 {
+				slots.Add(-1)
+				st.Begin(0)
+				runs.Add(1)
+				if st.Finish(0) {
+					enqueue()
+				}
+				continue
+			}
+			select {
+			case <-done:
+				if slots.Load() == 0 {
+					return
+				}
+			default:
+			}
+		}
+	}()
+	for p := 0; p < posters; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPoster; i++ {
+				posts.Add(1)
+				if st.Post(0) {
+					enqueue()
+				}
+			}
+		}()
+	}
+	// Close done only after posters finish, then let the runner drain.
+	go func() {
+		defer close(done)
+		for posts.Load() < posters*perPoster {
+		}
+	}()
+	wg.Wait()
+	if got := maxSlots.Load(); got > 1 {
+		t.Fatalf("vertex held %d queue slots at once, want ≤ 1", got)
+	}
+	if slots.Load() != 0 {
+		t.Fatalf("undrained queue slots: %d", slots.Load())
+	}
+	if st.Load(0) != StateIdle {
+		t.Fatalf("final state = %d, want Idle", st.Load(0))
+	}
+	if runs.Load() == 0 {
+		t.Fatal("runner never ran")
+	}
+}

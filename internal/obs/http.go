@@ -64,6 +64,10 @@ func (o *Observer) WriteMetrics(w io.Writer) {
 		func(s EngineStats) int64 { return s.TraceCommits })
 	counter("ndgraph_contested_commits_total", "Trace-recorded commits to an edge already committed in the same iteration (racy-winner sites).",
 		func(s EngineStats) int64 { return s.ContestedCommits })
+	counter("ndgraph_steals_total", "Successful work-steals from another worker's deque.",
+		func(s EngineStats) int64 { return s.Steals })
+	counter("ndgraph_idle_transitions_total", "Worker busy-to-idle transitions (work-stealing executors).",
+		func(s EngineStats) int64 { return s.IdleTransitions })
 	gauge("ndgraph_scheduled_last", "Scheduled-set size of the most recent sample.",
 		func(s EngineStats) string { return strconv.FormatInt(s.Scheduled, 10) })
 	gauge("ndgraph_residual_last", "Convergence residual (active fraction) of the most recent sample.",

@@ -59,11 +59,14 @@ const (
 	EngineNetdist
 	// EngineHybrid is the direction-optimizing push/pull engine.
 	EngineHybrid
+	// EngineNoSync is the barrier-free work-stealing executor (per-worker
+	// deques, distributed termination detection).
+	EngineNoSync
 
 	numEngines
 )
 
-var engineNames = [numEngines]string{"core", "async", "shard", "dist", "push", "autonomous", "netdist", "hybrid"}
+var engineNames = [numEngines]string{"core", "async", "shard", "dist", "push", "autonomous", "netdist", "hybrid", "nosync"}
 
 // String names the engine kind as used in metric labels and JSONL.
 func (k EngineKind) String() string {
@@ -135,6 +138,10 @@ type Event struct {
 	// committed in the same iteration — the racy-winner sites under
 	// nondeterministic execution. Zero when tracing is off.
 	TraceCommits, ContestedCommits int64
+	// Steals and IdleTransitions are work-stealing deltas (successful
+	// steals from another worker's deque, and busy→idle transitions) for
+	// the sample; zero for engines without work stealing.
+	Steals, IdleTransitions int64
 }
 
 // engineCounters aggregates one engine's events. All fields are atomics so
@@ -155,6 +162,8 @@ type engineCounters struct {
 	drops       atomic.Int64
 	traceCommit atomic.Int64
 	contested   atomic.Int64
+	steals      atomic.Int64
+	idleTrans   atomic.Int64
 	scheduled   atomic.Int64  // last sample's value (gauge)
 	residual    atomic.Uint64 // last sample's value (float64 bits, gauge)
 }
@@ -329,6 +338,8 @@ func (o *Observer) Emit(ev Event) {
 	c.drops.Add(ev.Drops)
 	c.traceCommit.Add(ev.TraceCommits)
 	c.contested.Add(ev.ContestedCommits)
+	c.steals.Add(ev.Steals)
+	c.idleTrans.Add(ev.IdleTransitions)
 	c.scheduled.Store(ev.Scheduled)
 	c.residual.Store(floatBits(ev.Residual))
 
@@ -418,6 +429,8 @@ type EngineStats struct {
 	Drops            int64   `json:"drops"`
 	TraceCommits     int64   `json:"trace_commits"`
 	ContestedCommits int64   `json:"contested_commits"`
+	Steals           int64   `json:"steals"`
+	IdleTransitions  int64   `json:"idle_transitions"`
 	Scheduled        int64   `json:"scheduled_last"`
 	Residual         float64 `json:"residual_last"`
 }
@@ -447,6 +460,8 @@ func (o *Observer) Stats() []EngineStats {
 			Drops:            c.drops.Load(),
 			TraceCommits:     c.traceCommit.Load(),
 			ContestedCommits: c.contested.Load(),
+			Steals:           c.steals.Load(),
+			IdleTransitions:  c.idleTrans.Load(),
 			Scheduled:        c.scheduled.Load(),
 			Residual:         floatFromBits(c.residual.Load()),
 		}

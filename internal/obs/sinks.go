@@ -89,6 +89,12 @@ func (s *JSONLSink) Consume(ev *Event) {
 		b = append(b, `,"drops":`...)
 		b = strconv.AppendInt(b, ev.Drops, 10)
 	}
+	if ev.Engine == EngineNoSync {
+		b = append(b, `,"steals":`...)
+		b = strconv.AppendInt(b, ev.Steals, 10)
+		b = append(b, `,"idle_transitions":`...)
+		b = strconv.AppendInt(b, ev.IdleTransitions, 10)
+	}
 	b = append(b, "}\n"...)
 	s.buf = b
 	_, s.err = s.w.Write(b)

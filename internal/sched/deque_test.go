@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDequeOwnerLIFO(t *testing.T) {
+	d := NewDeque(0)
+	if _, ok := d.Pop(); ok {
+		t.Fatal("pop of empty deque succeeded")
+	}
+	for i := 0; i < 10; i++ {
+		d.Push(i)
+	}
+	if got := d.Len(); got != 10 {
+		t.Fatalf("Len = %d, want 10", got)
+	}
+	for i := 9; i >= 0; i-- {
+		v, ok := d.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := d.Pop(); ok {
+		t.Fatal("pop after drain succeeded")
+	}
+}
+
+func TestDequeStealFIFO(t *testing.T) {
+	d := NewDeque(0)
+	for i := 0; i < 5; i++ {
+		d.Push(i)
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := d.Steal()
+		if !ok || v != i {
+			t.Fatalf("Steal = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("steal of empty deque succeeded")
+	}
+}
+
+func TestDequeGrowPreservesWindow(t *testing.T) {
+	d := NewDeque(0)
+	cap0 := d.Cap()
+	// Interleave pushes and pops so the live window wraps before growing.
+	for i := 0; i < cap0/2; i++ {
+		d.Push(-1)
+		if _, ok := d.Pop(); !ok {
+			t.Fatal("warmup pop failed")
+		}
+	}
+	n := 4*cap0 + 3
+	for i := 0; i < n; i++ {
+		d.Push(i)
+	}
+	if d.Cap() <= cap0 {
+		t.Fatalf("deque did not grow: cap %d", d.Cap())
+	}
+	for i := 0; i < n; i++ {
+		v, ok := d.Steal()
+		if !ok || v != i {
+			t.Fatalf("post-grow Steal = %d,%v, want %d,true", v, ok, i)
+		}
+	}
+}
+
+// TestDequeConcurrentConservation hammers one owner (push/pop) against
+// several thieves and checks every pushed item is consumed exactly once —
+// the Chase–Lev safety property the no-sync tier's termination detection
+// leans on.
+func TestDequeConcurrentConservation(t *testing.T) {
+	const (
+		items   = 1 << 15
+		thieves = 3
+	)
+	d := NewDeque(0)
+	seen := make([]atomic.Int32, items)
+	var consumed atomic.Int64
+	take := func(v int) {
+		if seen[v].Add(1) != 1 {
+			t.Errorf("item %d consumed twice", v)
+		}
+		consumed.Add(1)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.Steal(); ok {
+					take(v)
+					continue
+				}
+				select {
+				case <-stop:
+					// Final drain: the owner is done pushing, so an empty
+					// observation is now conclusive for this thief.
+					if v, ok := d.Steal(); ok {
+						take(v)
+						continue
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+	for i := 0; i < items; i++ {
+		d.Push(i)
+		if i%3 == 0 {
+			if v, ok := d.Pop(); ok {
+				take(v)
+			}
+		}
+	}
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		take(v)
+	}
+	close(stop)
+	wg.Wait()
+	// Anything left after the thieves exited belongs to the owner.
+	for {
+		v, ok := d.Pop()
+		if !ok {
+			break
+		}
+		take(v)
+	}
+	if got := consumed.Load(); got != items {
+		t.Fatalf("consumed %d items, want %d", got, items)
+	}
+	for v := range seen {
+		if seen[v].Load() != 1 {
+			t.Fatalf("item %d consumed %d times", v, seen[v].Load())
+		}
+	}
+}

@@ -439,6 +439,16 @@ type (
 	AsyncExecutor = async.Executor
 	// AsyncOptions configures an AsyncExecutor.
 	AsyncOptions = async.Options
+	// NoSyncExecutor is the work-stealing barrier-free executor: per-worker
+	// deques with randomized stealing, coalescing per-vertex scheduled
+	// states, and distributed double-sweep termination detection. Admission
+	// requires a Theorem-1/2 eligibility verdict (NoSyncOptions.Verdict).
+	NoSyncExecutor = async.NoSync
+	// NoSyncOptions configures a NoSyncExecutor.
+	NoSyncOptions = async.NoSyncOptions
+	// NoSyncResult summarizes a no-sync run (updates, steals, idle
+	// transitions, convergence).
+	NoSyncResult = async.NoSyncResult
 	// PushEngine executes monotone push-mode computations.
 	PushEngine = push.Engine
 )
@@ -455,6 +465,14 @@ const (
 var (
 	// NewAsyncExecutor builds a barrier-free executor.
 	NewAsyncExecutor = async.NewExecutor
+	// NewNoSyncExecutor builds the work-stealing no-sync executor; it
+	// refuses algorithms whose eligibility verdict is not covered by the
+	// paper's Theorem 1 or 2.
+	NewNoSyncExecutor = async.NewNoSync
+	// NoSyncVerdict derives the admission verdict for an algorithm: the
+	// static profile for registered algorithms, an instrumented probe
+	// otherwise.
+	NoSyncVerdict = algorithms.NoSyncVerdict
 	// NewPushEngine builds a push-mode engine.
 	NewPushEngine = push.NewEngine
 	// PushBFS runs push-mode BFS.

@@ -5,9 +5,9 @@
 // the paper's thesis as a single table:
 //
 //	{WCC, SSSP, BFS, k-core} × {core-nondet(lock), core-nondet(atomic),
-//	async, shard (PSW), push (CAS), hybrid (direction-optimizing)}
-//	                                 → identical converged values
-//	PageRank × {core variants}       → agreement within ε
+//	async, nosync (work-stealing), shard (PSW), push (CAS),
+//	hybrid (direction-optimizing)}   → identical converged values
+//	PageRank × {core variants, nosync} → agreement within ε
 //
 // Three deliberate exclusions, asserted by TestCrossEngineCoverageManifest:
 //
@@ -127,6 +127,35 @@ func runAsyncWords(t *testing.T, g *graph.Graph, a algorithms.Algorithm) []uint6
 	return append([]uint64(nil), x.Vertices...)
 }
 
+// runNoSyncWords runs a through the work-stealing no-sync tier, admission
+// gated by the algorithm's own static/probe eligibility verdict — the full
+// production path: verdict, transplant, barrier-free drain.
+func runNoSyncWords(t *testing.T, g *graph.Graph, a algorithms.Algorithm) []uint64 {
+	t.Helper()
+	v, err := algorithms.NoSyncVerdict(a, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedEng, err := core.NewEngine(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Setup(seedEng)
+	x, err := async.NewNoSync(g, async.NoSyncOptions{Threads: diffThreads, Mode: edgedata.ModeAtomic, Verdict: &v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	if err := x.LoadFrom(seedEng); err != nil {
+		t.Fatal(err)
+	}
+	res, err := x.Run(a.Update)
+	if err != nil || !res.Converged {
+		t.Fatalf("nosync %s: %v (converged=%v)", a.Name(), err, res.Converged)
+	}
+	return append([]uint64(nil), x.Vertices...)
+}
+
 // runShardWords builds out-of-core storage for g, applies the
 // algorithm-specific initial state, and runs the PSW engine.
 func runShardWords(t *testing.T, g *graph.Graph, update core.UpdateFunc, init func(t *testing.T, st *shard.Storage, e *shard.Engine)) []uint64 {
@@ -229,6 +258,7 @@ func TestCrossEngineDifferentialWCC(t *testing.T) {
 				checkLabels(t, ce.name, wordsToLabels(runCoreWords(t, g, algorithms.NewWCC(), ce.opts)), want)
 			}
 			checkLabels(t, "async", wordsToLabels(runAsyncWords(t, g, algorithms.NewWCC())), want)
+			checkLabels(t, "nosync", wordsToLabels(runNoSyncWords(t, g, algorithms.NewWCC())), want)
 
 			wcc := algorithms.NewWCC()
 			got := runShardWords(t, g, wcc.Update, func(t *testing.T, st *shard.Storage, e *shard.Engine) {
@@ -269,6 +299,7 @@ func TestCrossEngineDifferentialBFS(t *testing.T) {
 				checkFloats(t, ce.name, wordsToFloats(runCoreWords(t, g, algorithms.NewBFS(g, src), ce.opts)), want)
 			}
 			checkFloats(t, "async", wordsToFloats(runAsyncWords(t, g, algorithms.NewBFS(g, src))), want)
+			checkFloats(t, "nosync", wordsToFloats(runNoSyncWords(t, g, algorithms.NewBFS(g, src))), want)
 
 			// BFS is the shard-safe member of the SSSP family: unit
 			// weights make the Weights array index-invariant, so the PSW
@@ -312,6 +343,7 @@ func TestCrossEngineDifferentialSSSP(t *testing.T) {
 				checkFloats(t, ce.name, wordsToFloats(runCoreWords(t, g, algorithms.NewSSSP(g, src, gc.seed+7), ce.opts)), want)
 			}
 			checkFloats(t, "async", wordsToFloats(runAsyncWords(t, g, algorithms.NewSSSP(g, src, gc.seed+7))), want)
+			checkFloats(t, "nosync", wordsToFloats(runNoSyncWords(t, g, algorithms.NewSSSP(g, src, gc.seed+7))), want)
 
 			got, res, err := push.SSSP(g, src, ref.Weights, push.ModeCAS, diffThreads)
 			if err != nil || !res.Converged {
@@ -336,6 +368,7 @@ func TestCrossEngineDifferentialKCore(t *testing.T) {
 				checkLabels(t, ce.name, wordsToLabels(runCoreWords(t, g, algorithms.NewKCore(), ce.opts)), want)
 			}
 			checkLabels(t, "async", wordsToLabels(runAsyncWords(t, g, algorithms.NewKCore())), want)
+			checkLabels(t, "nosync", wordsToLabels(runNoSyncWords(t, g, algorithms.NewKCore())), want)
 
 			kc := algorithms.NewKCore()
 			got := runShardWords(t, g, kc.Update, func(t *testing.T, st *shard.Storage, e *shard.Engine) {
@@ -387,6 +420,10 @@ func TestCrossEngineDifferentialPageRank(t *testing.T) {
 				}
 				check(ce.name, pr.Ranks(e))
 			}
+			// The work-stealing tier: PageRank is Theorem-1 eligible
+			// (RW-only conflicts) but converges approximately, so its
+			// barrier-free fixed point is ε-close, not identical.
+			check("nosync", wordsToFloats(runNoSyncWords(t, g, algorithms.NewPageRank(1e-7))))
 		})
 	}
 }
@@ -405,10 +442,10 @@ func TestCrossEngineCoverageManifest(t *testing.T) {
 	}
 	// engine coverage per algorithm: core-det + 2 core-nondet + the others
 	covered := map[string][]string{
-		"wcc":   {"core-det", "core-nondet-lock", "core-nondet-atomic", "async", "shard", "push", "hybrid"},
-		"bfs":   {"core-det", "core-nondet-lock", "core-nondet-atomic", "async", "shard", "push", "hybrid"},
-		"sssp":  {"core-det", "core-nondet-lock", "core-nondet-atomic", "async", "push", "hybrid"},
-		"kcore": {"core-det", "core-nondet-lock", "core-nondet-atomic", "async", "shard"},
+		"wcc":   {"core-det", "core-nondet-lock", "core-nondet-atomic", "async", "nosync", "shard", "push", "hybrid"},
+		"bfs":   {"core-det", "core-nondet-lock", "core-nondet-atomic", "async", "nosync", "shard", "push", "hybrid"},
+		"sssp":  {"core-det", "core-nondet-lock", "core-nondet-atomic", "async", "nosync", "push", "hybrid"},
+		"kcore": {"core-det", "core-nondet-lock", "core-nondet-atomic", "async", "nosync", "shard"},
 	}
 	excluded := map[string]string{
 		"shard/sssp":   "OutEdgeID is window-local; canonical-edge-indexed Weights would misroute",

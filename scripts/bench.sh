@@ -13,7 +13,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_PR2.json}"
-bench="${BENCH:-HotPathIteration|PoolBlocks|PoolChunks|ParallelBlocks|ParallelChunks|ConvergenceSpeed|AblationDispatch|BFSEngines}"
+bench="${BENCH:-HotPathIteration|PoolBlocks|PoolChunks|ParallelBlocks|ParallelChunks|ConvergenceSpeed|AblationDispatch|BFSEngines|NoSyncEngines}"
 benchtime="${BENCHTIME:-1x}"
 
 go test -run '^$' -bench "$bench" -benchtime "$benchtime" -benchmem \

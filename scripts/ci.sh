@@ -35,7 +35,7 @@ echo "== go test -shuffle=on (order-independence) =="
 go test -shuffle=on -count=1 ./...
 
 echo "== go test -race (concurrency-heavy packages, short) =="
-go test -race -short ./internal/core/ ./internal/async/ ./internal/dist/ ./internal/fault/ ./internal/shard/ ./internal/trace/ ./internal/netdist/ ./internal/obs/ ./internal/push/ ./internal/hybrid/ ./internal/frontier/
+go test -race -short ./internal/core/ ./internal/async/ ./internal/dist/ ./internal/fault/ ./internal/shard/ ./internal/trace/ ./internal/netdist/ ./internal/obs/ ./internal/push/ ./internal/hybrid/ ./internal/frontier/ ./internal/sched/
 
 echo "== go test -race (cross-engine differential, lock + atomic modes) =="
 # The differential suite pins every executor to the sequential DE fixed
@@ -63,6 +63,6 @@ echo "== bench smoke (1x, JSON pipeline) =="
 # validates its own JSON output, so a broken parser or benchmark fails CI.
 smoke=$(mktemp -t bench_smoke.XXXXXX.json)
 trap 'rm -f "$smoke"' EXIT
-BENCHTIME=1x BENCH='HotPathIteration|PoolBlocks|PoolChunks|BFSEngines' scripts/bench.sh "$smoke"
+BENCHTIME=1x BENCH='HotPathIteration|PoolBlocks|PoolChunks|BFSEngines|NoSyncEngines' scripts/bench.sh "$smoke"
 
 echo "CI OK"

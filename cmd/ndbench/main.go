@@ -15,6 +15,7 @@
 //	ndbench -exp netdist              # TCP worker processes + fault injection
 //	ndbench -exp hybrid               # direction-optimizing engine sweep
 //	ndbench -exp nosync               # work-stealing no-sync tier sweep + drift
+//	ndbench -exp staleness            # delay-clock staleness + ε-aware stopping
 //
 // Common flags: -scale (dataset scale divisor, default 50), -seed,
 // -threads (comma list), -runs, -eps (comma list of ε).
@@ -57,7 +58,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("ndbench", flag.ContinueOnError)
 	var exps expList
-	fs.Var(&exps, "exp", "experiment to run: all, table1, fig3, table2, table3, conflicts, iters, async, topk, ablate, psw, dist, netdist, fpvar, precision, divergence, hybrid, nosync (repeatable)")
+	fs.Var(&exps, "exp", "experiment to run: all, table1, fig3, table2, table3, conflicts, iters, async, topk, ablate, psw, dist, netdist, fpvar, precision, divergence, hybrid, nosync, staleness (repeatable)")
 	scale := fs.Int("scale", 50, "dataset scale divisor (1 = full paper size)")
 	seed := fs.Uint64("seed", 42, "master random seed")
 	threadsFlag := fs.String("threads", "1,2,4,8,16", "comma-separated worker counts for Fig. 3")
@@ -197,6 +198,11 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if all || want["staleness"] {
+		if err := printStaleness(out, cfg); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -226,6 +232,35 @@ func printNoSync(out io.Writer, cfg experiments.Config) error {
 		}
 	}
 	return nil
+}
+
+func printStaleness(out io.Writer, cfg experiments.Config) error {
+	stale, eps, err := experiments.StalenessStudy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "\n=== Extension: staleness & convergence observability ===")
+	fmt.Fprintln(out, "delay-clock staleness of work-stealing WCC (delays in elapsed updates")
+	fmt.Fprintln(out, "between a value's publish and its read), vs drift from the det reference")
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "graph\tthreads\tupdates\tsteals\treads\tdelay-p50\tdelay-p99\tdelay-max\toverflow\tdiverged\tresults-equal")
+	for _, r := range stale {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%v\n",
+			r.Graph, r.Threads, r.Updates, r.Steals, r.Reads,
+			r.DelayP50, r.DelayP99, r.DelayMax, r.Overflow, r.Diverged, r.ResultsEqual)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "\nε-aware stopping (work-stealing PageRank; stop = windowed residual, full = exact quiescence):")
+	w = tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "graph\tε\tstopped\tfinal-resid\tstop-updates\tfull-updates\tstop-maxerr\tfull-maxerr")
+	for _, r := range eps {
+		fmt.Fprintf(w, "%s\t%g\t%v\t%.3g\t%d\t%d\t%.3g\t%.3g\n",
+			r.Graph, r.Epsilon, r.Stopped, r.FinalResidual,
+			r.StopUpdates, r.FullUpdates, r.StopMaxErr, r.FullMaxErr)
+	}
+	return w.Flush()
 }
 
 func printHybrid(out io.Writer, cfg experiments.Config) error {

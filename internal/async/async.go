@@ -29,6 +29,7 @@ import (
 
 	"ndgraph/internal/core"
 	"ndgraph/internal/edgedata"
+	"ndgraph/internal/eligibility"
 	"ndgraph/internal/fault"
 	"ndgraph/internal/frontier"
 	"ndgraph/internal/graph"
@@ -78,13 +79,34 @@ type Options struct {
 	// list instead of blocking (see Executor.send), so any capacity ≥ 1 is
 	// safe and the default stays modest.
 	QueueCap int
+	// Epsilon, when > 0, arms the ε-aware stopping rule (see
+	// NoSyncOptions.Epsilon): the run terminates once the windowed mean
+	// residual per changed commit stays below Epsilon across consecutive
+	// windows spanning two full passes of the graph, instead of draining
+	// to exact quiescence. Requires Verdict (gated through
+	// Verdict.EpsilonStop) and ResidualDelta.
+	Epsilon float64
+	// ResidualDelta maps a committed vertex transition to its residual
+	// contribution; mandatory when Epsilon > 0, and used when set to
+	// sharpen the telemetry Residual gauge.
+	ResidualDelta func(old, new uint64) float64
+	// Verdict is the ε-stopping admission ticket, only consulted when
+	// Epsilon > 0 (plain runs to quiescence keep the executor's historical
+	// ungated construction).
+	Verdict *eligibility.Verdict
 }
 
 // Result summarizes a barrier-free run.
 type Result struct {
 	Updates   int64
 	Converged bool
-	Duration  time.Duration
+	// EpsilonStopped reports that the ε-aware stopping rule terminated the
+	// run before exact quiescence; Converged remains true.
+	EpsilonStopped bool
+	// FinalResidual is the last measured windowed mean residual per changed
+	// commit (0 when no residual metric was armed or no window filled).
+	FinalResidual float64
+	Duration      time.Duration
 }
 
 // Executor owns the shared state of one barrier-free computation.
@@ -120,6 +142,13 @@ type Executor struct {
 	// views holds one preallocated VertexView adapter per worker.
 	views []view
 
+	// clock/residual/eps are the staleness-and-convergence observation
+	// hooks (nil / untouched when observation and ε-stopping are off); see
+	// nosync.go for the field-by-field story.
+	clock    *obs.DelayClock
+	residual *obs.ResidualEstimator
+	eps      epsilonState
+
 	// panicked records the first recovered UpdateFunc panic; Run surfaces
 	// it as an error instead of letting a worker kill the process.
 	panicked atomic.Pointer[updatePanic]
@@ -136,6 +165,14 @@ type updatePanic struct {
 func NewExecutor(g *graph.Graph, opts Options) (*Executor, error) {
 	if g == nil {
 		return nil, fmt.Errorf("async: nil graph")
+	}
+	if opts.Epsilon > 0 {
+		if err := opts.Verdict.EpsilonStop(); err != nil {
+			return nil, fmt.Errorf("async: %w", err)
+		}
+		if opts.ResidualDelta == nil {
+			return nil, fmt.Errorf("async: ε-stopping requires a ResidualDelta metric (the algorithm's |Δvalue| per commit)")
+		}
 	}
 	if opts.Threads < 1 {
 		opts.Threads = runtime.GOMAXPROCS(0)
@@ -162,6 +199,15 @@ func NewExecutor(g *graph.Graph, opts Options) (*Executor, error) {
 	}
 	if opts.Inject != nil {
 		x.Edges = opts.Inject.Wrap(x.Edges)
+	}
+	if opts.Epsilon > 0 || opts.Observer != nil {
+		x.residual = obs.NewResidualEstimator(opts.Threads, opts.ResidualDelta)
+	}
+	x.eps.span = epsilonSpan(g.N(), opts.Threads)
+	if opts.Observer != nil {
+		// One epoch per executed update; one stamp slot per edge word.
+		x.clock = obs.NewDelayClock(opts.Threads, int(g.M()))
+		opts.Observer.SetDelaySource(obs.EngineAsync, x.clock.Hist)
 	}
 	return x, nil
 }
@@ -302,6 +348,10 @@ func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
 	x.stopped.Store(false)
 	x.inFlite.Store(0)
 	x.updates.Store(0)
+	x.clock.Reset()
+	x.residual.Reset()
+	x.eps.reset()
+	x.opts.Observer.SetPhase("async: running")
 	for _, v := range x.seeds {
 		x.schedule(v)
 	}
@@ -339,10 +389,20 @@ func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
 			switch {
 			case x.stopped.Load():
 				// Draining a stopped run: retire the task unrun.
+			case x.opts.Epsilon > 0 && x.eps.stopped.Load():
+				// ε-stopped: the values are within the contract; retire the
+				// remaining queue unrun (Converged stays true).
 			case x.updates.Add(1) > x.opts.MaxUpdates:
 				x.stopped.Store(true)
 			default:
+				x.clock.Advance()
 				x.runOne(vw, update, uint32(v))
+				if x.opts.Epsilon > 0 {
+					if vw.epsUpdates++; vw.epsUpdates >= sampleWindow {
+						vw.epsUpdates = 0
+						x.eps.check(x.residual, x.opts.Epsilon)
+					}
+				}
 				if o := x.opts.Observer; o != nil {
 					if vw.nUpdates++; vw.nUpdates >= sampleWindow {
 						x.emitSample(o, vw, 0)
@@ -362,6 +422,8 @@ func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
 			res.Updates = x.opts.MaxUpdates
 		}
 	}
+	res.EpsilonStopped = x.eps.stopped.Load()
+	res.FinalResidual = x.eps.finalResidual()
 	res.Duration = time.Since(start)
 	if o := x.opts.Observer; o != nil {
 		// Final aggregate: fold every worker's leftover window into one
@@ -376,6 +438,14 @@ func (x *Executor) Run(update core.UpdateFunc) (Result, error) {
 			vw.nUpdates, vw.nReads, vw.nWrites = 0, 0, 0
 		}
 		x.emitSample(o, agg, res.Duration.Nanoseconds())
+		switch {
+		case res.EpsilonStopped:
+			o.SetPhase("async: ε-stopped")
+		case res.Converged:
+			o.SetPhase("async: quiescent")
+		default:
+			o.SetPhase("async: stopped")
+		}
 	}
 	if p := x.panicked.Load(); p != nil {
 		return res, fmt.Errorf("async: update function panicked on vertex %d: %v\n%s", p.vertex, p.value, p.stack)
@@ -408,6 +478,19 @@ func (x *Executor) runOne(view *view, update core.UpdateFunc, v uint32) {
 // Only vw's owning worker (or the post-drain flush) may call this.
 func (x *Executor) emitSample(o *obs.Observer, vw *view, durationNs int64) {
 	inflight := x.inFlite.Load()
+	resid := float64(inflight) / float64(x.g.N())
+	if r := x.residual; r != nil && x.opts.ResidualDelta != nil {
+		t := r.Totals()
+		if dUp := t.Updates - vw.emittedResidUpdates; dUp > 0 {
+			resid = (t.Sum - vw.emittedResidSum) / float64(dUp)
+			vw.emittedResidSum, vw.emittedResidUpdates = t.Sum, t.Updates
+		}
+	}
+	var p50, p99, dmax int64
+	if cl := x.clock; cl != nil {
+		h := cl.Hist()
+		p50, p99, dmax = h.Quantile(0.50), h.Quantile(0.99), h.Max()
+	}
 	o.Emit(obs.Event{
 		Engine:        obs.EngineAsync,
 		Iter:          x.samples.Add(1) - 1,
@@ -417,8 +500,11 @@ func (x *Executor) emitSample(o *obs.Observer, vw *view, durationNs int64) {
 		EdgeWrites:    vw.nWrites,
 		RWConflicts:   -1,
 		WWConflicts:   -1,
-		Residual:      float64(inflight) / float64(x.g.N()),
+		Residual:      resid,
 		DurationNanos: durationNs,
+		DelayP50:      p50,
+		DelayP99:      p99,
+		DelayMax:      dmax,
 	})
 	vw.nUpdates, vw.nReads, vw.nWrites = 0, 0, 0
 }
@@ -438,6 +524,11 @@ type view struct {
 	// nUpdates/nReads/nWrites accumulate this worker's telemetry window;
 	// worker-private, drained by emitSample.
 	nUpdates, nReads, nWrites int64
+	// epsUpdates triggers the windowed ε check; emittedResid* snapshot the
+	// global residual totals at this worker's last telemetry emit.
+	epsUpdates          int64
+	emittedResidSum     float64
+	emittedResidUpdates int64
 	// uWrites counts edge writes of the currently bound update, for the
 	// execution-path trace.
 	uWrites int
@@ -453,9 +544,14 @@ func (c *view) bind(v uint32) {
 	c.uWrites = 0
 }
 
-func (c *view) V() uint32               { return c.v }
-func (c *view) Vertex() uint64          { return c.x.Vertices[c.v] }
-func (c *view) SetVertex(w uint64)      { c.x.Vertices[c.v] = w }
+func (c *view) V() uint32      { return c.v }
+func (c *view) Vertex() uint64 { return c.x.Vertices[c.v] }
+func (c *view) SetVertex(w uint64) {
+	if r := c.x.residual; r != nil {
+		r.Observe(c.worker, c.x.Vertices[c.v], w)
+	}
+	c.x.Vertices[c.v] = w
+}
 func (c *view) InDegree() int           { return len(c.inSrc) }
 func (c *view) OutDegree() int          { return len(c.outDst) }
 func (c *view) InNeighbor(k int) uint32 { return c.inSrc[k] }
@@ -466,11 +562,19 @@ func (c *view) InEdgeID(k int) uint32  { return c.inIdx[k] }
 func (c *view) OutEdgeID(k int) uint32 { return c.outLo + uint32(k) }
 func (c *view) InEdgeVal(k int) uint64 {
 	c.nReads++
-	return c.x.Edges.Load(c.inIdx[k])
+	e := c.inIdx[k]
+	if cl := c.x.clock; cl != nil {
+		cl.ObserveRead(c.worker, e)
+	}
+	return c.x.Edges.Load(e)
 }
 func (c *view) OutEdgeVal(k int) uint64 {
 	c.nReads++
-	return c.x.Edges.Load(c.outLo + uint32(k))
+	e := c.outLo + uint32(k)
+	if cl := c.x.clock; cl != nil {
+		cl.ObserveRead(c.worker, e)
+	}
+	return c.x.Edges.Load(e)
 }
 func (c *view) ScheduleSelf() { c.x.schedule(int(c.v)) }
 func (c *view) Yield()        {}
@@ -478,14 +582,22 @@ func (c *view) Yield()        {}
 func (c *view) SetInEdgeVal(k int, w uint64) {
 	c.nWrites++
 	c.uWrites++
-	c.x.Edges.Store(c.inIdx[k], w)
+	e := c.inIdx[k]
+	c.x.Edges.Store(e, w)
+	if cl := c.x.clock; cl != nil {
+		cl.Stamp(e)
+	}
 	c.x.schedule(int(c.inSrc[k]))
 }
 
 func (c *view) SetOutEdgeVal(k int, w uint64) {
 	c.nWrites++
 	c.uWrites++
-	c.x.Edges.Store(c.outLo+uint32(k), w)
+	e := c.outLo + uint32(k)
+	c.x.Edges.Store(e, w)
+	if cl := c.x.clock; cl != nil {
+		cl.Stamp(e)
+	}
 	c.x.schedule(int(c.outDst[k]))
 }
 

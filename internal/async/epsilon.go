@@ -1,0 +1,119 @@
+// The ε-aware stopping rule, shared by both barrier-free executors (the
+// channel-draining Executor and the work-stealing NoSync): terminate when
+// the windowed mean residual per update falls below ε instead of waiting
+// for exact quiescence. The rule is admitted per algorithm through
+// eligibility.Verdict.EpsilonStop — Theorem-1 fixed-point kernels with
+// approximate convergence contracts only (Eedi et al.'s non-blocking
+// PageRank is the model); Theorem-2 traversals keep their byte-identical
+// fixed points by running to quiescence.
+package async
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"ndgraph/internal/obs"
+)
+
+// epsilonState is the measurement-and-flag half of the stopping rule. The
+// hot path touches only the per-worker epsUpdates counters in the views;
+// check runs once per sampleWindow updates per worker and serializes the
+// snapshot difference under a mutex.
+type epsilonState struct {
+	// stopped is the termination flag workers poll between tasks.
+	stopped atomic.Bool
+	// lastWindow holds the float64 bits of the most recent windowed mean
+	// residual, for results and telemetry.
+	lastWindow atomic.Uint64
+	// span is the number of consecutive sub-ε updates required before the
+	// stop arms, set at construction to max(2·sampleWindow, 2·P·|V|).
+	span int64
+
+	mu          sync.Mutex
+	lastSum     float64
+	lastUpdates int64
+	lastChanged int64
+	subEps      int64
+}
+
+// epsilonSpan sizes the required sub-ε run for a graph with n vertices
+// drained by p workers. The span must guarantee that every scheduled vertex
+// was executed during the sub-ε stretch, or a still-moving wavefront parked
+// in one queue could hide behind converged regions spinning zero-delta
+// updates. A worker's private FIFO can hold up to n tasks while receiving
+// only ~1/p of the execution slots, so one guaranteed full rotation of the
+// worst-case queue costs p·n global updates; the stop demands two.
+func epsilonSpan(n, p int) int64 {
+	span := int64(2 * sampleWindow)
+	if s := 2 * int64(p) * int64(n); s > span {
+		span = s
+	}
+	return span
+}
+
+// reset clears the state for a new run.
+func (e *epsilonState) reset() {
+	e.stopped.Store(false)
+	e.lastWindow.Store(0)
+	e.mu.Lock()
+	e.lastSum, e.lastUpdates, e.lastChanged, e.subEps = 0, 0, 0, 0
+	e.mu.Unlock()
+}
+
+// check measures the windowed residual against eps and arms the stop flag
+// when it stays below. Two deliberate conservatisms keep a stop inside the
+// ε contract:
+//
+//   - The residual is the mean movement per CHANGED commit, not per update.
+//     Barrier-free schedules re-execute vertices whose inputs did not move;
+//     those zero-delta commits would dilute a per-update mean below ε while
+//     a handful of still-active vertices move far more than ε each — the
+//     diluted mean is a liveness signal, not a convergence one. Dividing by
+//     the changed count asks "when a value moves, how far?", which is the
+//     quantity the contract bounds. A window with no changed commits at all
+//     is exact quiescence over the window and scores 0.
+//   - One sub-ε window is not enough: windows are only trusted at
+//     sampleWindow commits, and a short sub-ε stretch can be a lull — on a
+//     graph larger than the window, a propagation wave parked elsewhere in
+//     the work queue is invisible to a window that cycles through only part
+//     of the scheduled set. The residual must stay below ε across a run of
+//     consecutive windows spanning two guaranteed rotations of the
+//     worst-case work queue before the stop arms — the
+//     windowed analog of the termination detector's double sweep (see
+//     epsilonSpan for why the span scales with workers × vertices).
+func (e *epsilonState) check(r *obs.ResidualEstimator, eps float64) {
+	e.mu.Lock()
+	t := r.Totals()
+	dSum := t.Sum - e.lastSum
+	dUp := t.Updates - e.lastUpdates
+	if dUp < sampleWindow {
+		e.mu.Unlock()
+		return
+	}
+	dChanged := t.Changed - e.lastChanged
+	e.lastSum, e.lastUpdates, e.lastChanged = t.Sum, t.Updates, t.Changed
+	mean := 0.0
+	if dChanged > 0 {
+		mean = dSum / float64(dChanged)
+	}
+	e.lastWindow.Store(math.Float64bits(mean))
+	stop := false
+	if mean < eps {
+		if e.subEps += dUp; e.subEps >= e.span {
+			stop = true
+		}
+	} else {
+		e.subEps = 0
+	}
+	e.mu.Unlock()
+	if stop {
+		e.stopped.Store(true)
+	}
+}
+
+// finalResidual returns the last measured windowed mean (0 if no window
+// ever filled).
+func (e *epsilonState) finalResidual() float64 {
+	return math.Float64frombits(e.lastWindow.Load())
+}

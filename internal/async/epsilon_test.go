@@ -1,0 +1,167 @@
+package async
+
+import (
+	"strings"
+	"testing"
+
+	"ndgraph/internal/algorithms"
+	"ndgraph/internal/edgedata"
+	"ndgraph/internal/gen"
+	"ndgraph/internal/metrics"
+)
+
+// epsilonPageRank returns a PageRank whose local threshold is zero, so every
+// update scatters and reschedules its neighbors: the run never reaches exact
+// quiescence and only the ε-aware stopping rule (or the MaxUpdates fuse) can
+// terminate it. This isolates the stopping rule from PageRank's own local
+// convergence cutoff.
+func epsilonPageRank() *algorithms.PageRank {
+	return &algorithms.PageRank{Epsilon: 0, Damping: 0.85}
+}
+
+func TestNoSyncEpsilonStopPageRank(t *testing.T) {
+	g, err := gen.RMAT(300, 1800, gen.DefaultRMAT, 73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := epsilonPageRank()
+	// Stop three orders of magnitude below the comparison tolerance: a
+	// windowed per-commit residual of ε amplifies into rank error of up to
+	// ~ max-indegree · d/(1−d) · ε (each in-error feeds the damped gather),
+	// a few hundred ε on this graph, so the stop threshold sits well inside.
+	const tol = 1e-4
+	const eps = tol / 1000
+	const cap = int64(1 << 20)
+	x, res := runNoSync(t, pr, g, NoSyncOptions{
+		Threads:       4,
+		Mode:          edgedata.ModeAtomic,
+		MaxUpdates:    cap,
+		Epsilon:       eps,
+		ResidualDelta: pr.ResidualDelta,
+	})
+	if !res.EpsilonStopped {
+		t.Fatalf("ε-stop did not fire: %+v", res)
+	}
+	if !res.Converged {
+		t.Fatalf("ε-stopped run must report convergence: %+v", res)
+	}
+	if res.Updates >= cap {
+		t.Fatalf("run hit the MaxUpdates fuse (%d updates) instead of stopping early", res.Updates)
+	}
+	if res.FinalResidual < 0 || res.FinalResidual >= eps {
+		t.Fatalf("FinalResidual = %g, want in [0, %g)", res.FinalResidual, eps)
+	}
+	want := algorithms.ReferencePageRank(g, pr.Damping, 1e-12, 10000)
+	got := make([]float64, g.N())
+	for v := range got {
+		got[v] = edgedata.ToFloat64(x.Vertices[v])
+	}
+	if d := metrics.LInfDistance(got, want); d > tol {
+		t.Fatalf("LInf vs deterministic fixed point = %g, want <= %g", d, tol)
+	}
+}
+
+func TestExecutorEpsilonStopPageRank(t *testing.T) {
+	g, err := gen.RMAT(300, 1800, gen.DefaultRMAT, 73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := epsilonPageRank()
+	v, err := algorithms.NoSyncVerdict(pr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tol = 1e-4
+	const eps = tol / 1000 // see TestNoSyncEpsilonStopPageRank on the margin
+	const cap = int64(1 << 20)
+	x, res := runAsync(t, pr, g, Options{
+		Threads:       4,
+		Mode:          edgedata.ModeAtomic,
+		MaxUpdates:    cap,
+		Epsilon:       eps,
+		ResidualDelta: pr.ResidualDelta,
+		Verdict:       &v,
+	})
+	if !res.EpsilonStopped {
+		t.Fatalf("ε-stop did not fire: %+v", res)
+	}
+	if !res.Converged {
+		t.Fatalf("ε-stopped run must report convergence: %+v", res)
+	}
+	if res.Updates >= cap {
+		t.Fatalf("run hit the MaxUpdates fuse (%d updates) instead of stopping early", res.Updates)
+	}
+	if res.FinalResidual < 0 || res.FinalResidual >= eps {
+		t.Fatalf("FinalResidual = %g, want in [0, %g)", res.FinalResidual, eps)
+	}
+	want := algorithms.ReferencePageRank(g, pr.Damping, 1e-12, 10000)
+	got := make([]float64, g.N())
+	for v := range got {
+		got[v] = edgedata.ToFloat64(x.Vertices[v])
+	}
+	if d := metrics.LInfDistance(got, want); d > tol {
+		t.Fatalf("LInf vs deterministic fixed point = %g, want <= %g", d, tol)
+	}
+}
+
+func TestNoSyncEpsilonGateRefusals(t *testing.T) {
+	g, _ := gen.Ring(8)
+	pr := epsilonPageRank()
+	// Theorem-2 verdict: exact fixed points are the contract; ε-stopping
+	// must be refused even though the verdict admits barrier-free runs.
+	if _, err := NewNoSync(g, NoSyncOptions{
+		Threads: 1, Verdict: testVerdict(),
+		Epsilon: 1e-6, ResidualDelta: pr.ResidualDelta,
+	}); err == nil {
+		t.Error("ε-stopping accepted with a Theorem-2 verdict")
+	} else if !strings.Contains(err.Error(), "quiescence") {
+		t.Errorf("refusal does not explain the exact-quiescence contract: %v", err)
+	}
+	// Theorem-1 verdict but no residual metric: nothing to measure against ε.
+	v, err := algorithms.NoSyncVerdict(pr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNoSync(g, NoSyncOptions{
+		Threads: 1, Verdict: &v, Epsilon: 1e-6,
+	}); err == nil {
+		t.Error("ε-stopping accepted without a ResidualDelta metric")
+	}
+	// Epsilon off: the same options construct fine (historical behavior).
+	x, err := NewNoSync(g, NoSyncOptions{Threads: 1, Verdict: &v})
+	if err != nil {
+		t.Fatalf("plain construction broken: %v", err)
+	}
+	x.Close()
+}
+
+func TestExecutorEpsilonGateRefusals(t *testing.T) {
+	g, _ := gen.Ring(8)
+	pr := epsilonPageRank()
+	// The channel executor historically runs without any verdict; arming
+	// Epsilon must demand the admission ticket.
+	if _, err := NewExecutor(g, Options{
+		Threads: 1, Epsilon: 1e-6, ResidualDelta: pr.ResidualDelta,
+	}); err == nil {
+		t.Error("ε-stopping accepted without a verdict")
+	}
+	if _, err := NewExecutor(g, Options{
+		Threads: 1, Verdict: testVerdict(),
+		Epsilon: 1e-6, ResidualDelta: pr.ResidualDelta,
+	}); err == nil {
+		t.Error("ε-stopping accepted with a Theorem-2 verdict")
+	}
+	v, err := algorithms.NoSyncVerdict(pr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewExecutor(g, Options{
+		Threads: 1, Verdict: &v, Epsilon: 1e-6,
+	}); err == nil {
+		t.Error("ε-stopping accepted without a ResidualDelta metric")
+	}
+	// Plain runs to quiescence keep the ungated construction path.
+	if _, err := NewExecutor(g, Options{Threads: 1}); err != nil {
+		t.Fatalf("plain construction broken: %v", err)
+	}
+}

@@ -104,6 +104,22 @@ type NoSyncOptions struct {
 	// StealSeed seeds the per-worker victim-selection RNG; 0 is a fixed
 	// default. Different seeds explore different interleavings.
 	StealSeed uint64
+	// Epsilon, when > 0, arms the ε-aware stopping rule: the run terminates
+	// (Converged == true, EpsilonStopped == true) once the windowed mean
+	// residual per changed commit stays below Epsilon across consecutive
+	// windows spanning two full passes of the graph (see epsilon.go),
+	// instead of waiting for exact quiescence. Admission is gated through Verdict.EpsilonStop — only
+	// Theorem-1 algorithms with approximate convergence contracts qualify
+	// (Eedi et al.'s non-blocking PageRank is the model); Theorem-2
+	// traversals are refused because their fixed points are byte-identical
+	// by contract. Requires ResidualDelta.
+	Epsilon float64
+	// ResidualDelta maps a committed vertex transition to its residual
+	// contribution (e.g. |Δrank| for PageRank; see
+	// algorithms.PageRank.ResidualDelta). Mandatory when Epsilon > 0; also
+	// used, when set, to sharpen the telemetry Residual gauge from the
+	// active-fraction proxy to the measured value movement.
+	ResidualDelta func(old, new uint64) float64
 }
 
 // NoSyncResult summarizes a no-sync run.
@@ -116,7 +132,16 @@ type NoSyncResult struct {
 	// barrier-wait time.
 	IdleTransitions int64
 	Converged       bool
-	Duration        time.Duration
+	// EpsilonStopped reports that the ε-aware stopping rule terminated the
+	// run: the windowed residual fell below Options.Epsilon before exact
+	// quiescence. Converged remains true — the values are within the
+	// algorithm's approximate convergence contract.
+	EpsilonStopped bool
+	// FinalResidual is the last measured windowed mean residual per changed
+	// commit (0 when no residual metric was armed or too few updates ran to
+	// fill a measurement window).
+	FinalResidual float64
+	Duration      time.Duration
 }
 
 // nsWorker is one worker's shared-visible termination-detection state and
@@ -170,6 +195,18 @@ type NoSync struct {
 	pool  *sched.Pool
 	views []nsView
 
+	// clock measures read staleness (created when an Observer is attached;
+	// epochs are executed updates, slots are edge words). residual
+	// accumulates per-commit value movement (created when Epsilon > 0 or an
+	// Observer is attached). Both are nil — and their hot-path hooks one
+	// pointer test — when observation is off.
+	clock    *obs.DelayClock
+	residual *obs.ResidualEstimator
+
+	// eps holds the ε-stopping flag and windowed-residual measurement (see
+	// epsilon.go); only consulted when opts.Epsilon > 0.
+	eps epsilonState
+
 	panicked atomic.Pointer[updatePanic]
 }
 
@@ -182,6 +219,14 @@ func NewNoSync(g *graph.Graph, opts NoSyncOptions) (*NoSync, error) {
 	}
 	if err := opts.Verdict.NoSync(); err != nil {
 		return nil, fmt.Errorf("async: %w", err)
+	}
+	if opts.Epsilon > 0 {
+		if err := opts.Verdict.EpsilonStop(); err != nil {
+			return nil, fmt.Errorf("async: %w", err)
+		}
+		if opts.ResidualDelta == nil {
+			return nil, fmt.Errorf("async: ε-stopping requires a ResidualDelta metric (the algorithm's |Δvalue| per commit)")
+		}
 	}
 	if opts.Threads < 1 {
 		opts.Threads = runtime.GOMAXPROCS(0)
@@ -209,6 +254,15 @@ func NewNoSync(g *graph.Graph, opts NoSyncOptions) (*NoSync, error) {
 		x.stealBuf[w] = make([]int, stealBatchCap)
 		x.views[w].x = x
 		x.views[w].worker = w
+	}
+	if opts.Epsilon > 0 || opts.Observer != nil {
+		x.residual = obs.NewResidualEstimator(opts.Threads, opts.ResidualDelta)
+	}
+	x.eps.span = epsilonSpan(g.N(), opts.Threads)
+	if opts.Observer != nil {
+		// One epoch per executed update; one stamp slot per edge word.
+		x.clock = obs.NewDelayClock(opts.Threads, int(g.M()))
+		opts.Observer.SetDelaySource(obs.EngineNoSync, x.clock.Hist)
 	}
 	return x, nil
 }
@@ -293,6 +347,10 @@ func (x *NoSync) Run(update core.UpdateFunc) (NoSyncResult, error) {
 	x.stopped.Store(false)
 	x.quiet.Store(false)
 	x.updates.Store(0)
+	x.clock.Reset()
+	x.residual.Reset()
+	x.eps.reset()
+	x.opts.Observer.SetPhase("nosync: running")
 	// Mark every seed Scheduled up front, but don't hand any out yet:
 	// workers claim seedChunk-sized runs off a shared cursor as their
 	// deques run dry (claimChunk). The two halves matter separately.
@@ -332,6 +390,8 @@ func (x *NoSync) Run(update core.UpdateFunc) (NoSyncResult, error) {
 			res.Updates = x.opts.MaxUpdates
 		}
 	}
+	res.EpsilonStopped = x.eps.stopped.Load()
+	res.FinalResidual = x.eps.finalResidual()
 	res.Duration = time.Since(start)
 	if o := x.opts.Observer; o != nil {
 		// Final aggregate: fold every worker's leftover window into one
@@ -346,6 +406,14 @@ func (x *NoSync) Run(update core.UpdateFunc) (NoSyncResult, error) {
 			vw.nUpdates, vw.nReads, vw.nWrites = 0, 0, 0
 		}
 		x.emitNoSyncSample(o, agg, res.Duration.Nanoseconds())
+		switch {
+		case res.EpsilonStopped:
+			o.SetPhase("nosync: ε-stopped")
+		case res.Converged:
+			o.SetPhase("nosync: quiescent")
+		default:
+			o.SetPhase("nosync: stopped")
+		}
 	}
 	if p := x.panicked.Load(); p != nil {
 		return res, fmt.Errorf("async: update function panicked on vertex %d: %v\n%s", p.vertex, p.value, p.stack)
@@ -368,8 +436,9 @@ func (x *NoSync) drain(w int, update core.UpdateFunc) {
 	havePrev := false
 	idle := false
 	fails := 0
+	sinceClaim := 0
 	for {
-		if x.quiet.Load() || x.stopped.Load() {
+		if x.quiet.Load() || x.stopped.Load() || x.eps.stopped.Load() {
 			return
 		}
 		if ctx := x.opts.Context; ctx != nil && ctx.Err() != nil {
@@ -403,6 +472,18 @@ func (x *NoSync) drain(w int, update core.UpdateFunc) {
 			havePrev = false
 			fails = 0
 			x.execute(w, vw, update, v)
+			// Liveness: a self-sustaining workload — a fixed-point kernel
+			// that never locally converges, exactly the ε-stopping case —
+			// can keep every deque non-empty forever, so the dry-deque
+			// claim alone would never advance the seed cursor and the
+			// unclaimed seeds (pre-marked Scheduled, so mid-run posts
+			// deduplicate against them) would starve at their initial
+			// values. Claim a chunk every seedChunk executed tasks too;
+			// once the cursor is exhausted this is a single atomic load.
+			if sinceClaim++; sinceClaim >= seedChunk {
+				sinceClaim = 0
+				x.claimChunk(w)
+			}
 			continue
 		}
 		if !idle {
@@ -547,7 +628,16 @@ func (x *NoSync) execute(w int, vw *nsView, update core.UpdateFunc, v int) {
 	case x.updates.Add(1) > x.opts.MaxUpdates:
 		x.stopped.Store(true)
 	default:
+		// One delay-clock epoch per executed update: staleness is then "how
+		// many updates ran between this value's publish and my read".
+		x.clock.Advance()
 		x.runNoSyncOne(vw, update, uint32(v))
+		if x.opts.Epsilon > 0 {
+			if vw.epsUpdates++; vw.epsUpdates >= sampleWindow {
+				vw.epsUpdates = 0
+				x.eps.check(x.residual, x.opts.Epsilon)
+			}
+		}
 		if o := x.opts.Observer; o != nil {
 			if vw.nUpdates++; vw.nUpdates >= sampleWindow {
 				x.emitNoSyncSample(o, vw, 0)
@@ -589,6 +679,21 @@ func (x *NoSync) emitNoSyncSample(o *obs.Observer, vw *nsView, durationNs int64)
 		pending = 0
 	}
 	self := &x.workers[vw.worker]
+	// Residual: the active-fraction proxy, sharpened to the measured mean
+	// value movement per update when a residual metric is armed.
+	resid := float64(pending) / float64(x.g.N())
+	if r := x.residual; r != nil && x.opts.ResidualDelta != nil {
+		t := r.Totals()
+		if dUp := t.Updates - vw.emittedResidUpdates; dUp > 0 {
+			resid = (t.Sum - vw.emittedResidSum) / float64(dUp)
+			vw.emittedResidSum, vw.emittedResidUpdates = t.Sum, t.Updates
+		}
+	}
+	var p50, p99, dmax int64
+	if cl := x.clock; cl != nil {
+		h := cl.Hist()
+		p50, p99, dmax = h.Quantile(0.50), h.Quantile(0.99), h.Max()
+	}
 	o.Emit(obs.Event{
 		Engine:          obs.EngineNoSync,
 		Iter:            x.samples.Add(1) - 1,
@@ -598,10 +703,13 @@ func (x *NoSync) emitNoSyncSample(o *obs.Observer, vw *nsView, durationNs int64)
 		EdgeWrites:      vw.nWrites,
 		RWConflicts:     -1,
 		WWConflicts:     -1,
-		Residual:        float64(pending) / float64(x.g.N()),
+		Residual:        resid,
 		DurationNanos:   durationNs,
 		Steals:          self.steals - vw.emittedSteals,
 		IdleTransitions: self.idleTransitions - vw.emittedIdle,
+		DelayP50:        p50,
+		DelayP99:        p99,
+		DelayMax:        dmax,
 	})
 	vw.emittedSteals, vw.emittedIdle = self.steals, self.idleTransitions
 	vw.nUpdates, vw.nReads, vw.nWrites = 0, 0, 0
@@ -621,6 +729,11 @@ type nsView struct {
 	// Telemetry window accumulators; worker-private.
 	nUpdates, nReads, nWrites  int64
 	emittedSteals, emittedIdle int64
+	// epsUpdates triggers the windowed ε check; emittedResid* snapshot the
+	// global residual totals at this worker's last telemetry emit.
+	epsUpdates          int64
+	emittedResidSum     float64
+	emittedResidUpdates int64
 	// uWrites counts edge writes of the currently bound update, for the
 	// execution-path trace.
 	uWrites int
@@ -636,9 +749,14 @@ func (c *nsView) bind(v uint32) {
 	c.uWrites = 0
 }
 
-func (c *nsView) V() uint32                { return c.v }
-func (c *nsView) Vertex() uint64           { return c.x.Vertices[c.v] }
-func (c *nsView) SetVertex(w uint64)       { c.x.Vertices[c.v] = w }
+func (c *nsView) V() uint32      { return c.v }
+func (c *nsView) Vertex() uint64 { return c.x.Vertices[c.v] }
+func (c *nsView) SetVertex(w uint64) {
+	if r := c.x.residual; r != nil {
+		r.Observe(c.worker, c.x.Vertices[c.v], w)
+	}
+	c.x.Vertices[c.v] = w
+}
 func (c *nsView) InDegree() int            { return len(c.inSrc) }
 func (c *nsView) OutDegree() int           { return len(c.outDst) }
 func (c *nsView) InNeighbor(k int) uint32  { return c.inSrc[k] }
@@ -647,11 +765,19 @@ func (c *nsView) InEdgeID(k int) uint32    { return c.inIdx[k] }
 func (c *nsView) OutEdgeID(k int) uint32   { return c.outLo + uint32(k) }
 func (c *nsView) InEdgeVal(k int) uint64 {
 	c.nReads++
-	return c.x.Edges.Load(c.inIdx[k])
+	e := c.inIdx[k]
+	if cl := c.x.clock; cl != nil {
+		cl.ObserveRead(c.worker, e)
+	}
+	return c.x.Edges.Load(e)
 }
 func (c *nsView) OutEdgeVal(k int) uint64 {
 	c.nReads++
-	return c.x.Edges.Load(c.outLo + uint32(k))
+	e := c.outLo + uint32(k)
+	if cl := c.x.clock; cl != nil {
+		cl.ObserveRead(c.worker, e)
+	}
+	return c.x.Edges.Load(e)
 }
 func (c *nsView) ScheduleSelf() { c.x.post(c.worker, int(c.v)) }
 func (c *nsView) Yield()        {}
@@ -659,14 +785,22 @@ func (c *nsView) Yield()        {}
 func (c *nsView) SetInEdgeVal(k int, w uint64) {
 	c.nWrites++
 	c.uWrites++
-	c.x.Edges.Store(c.inIdx[k], w)
+	e := c.inIdx[k]
+	c.x.Edges.Store(e, w)
+	if cl := c.x.clock; cl != nil {
+		cl.Stamp(e)
+	}
 	c.x.post(c.worker, int(c.inSrc[k]))
 }
 
 func (c *nsView) SetOutEdgeVal(k int, w uint64) {
 	c.nWrites++
 	c.uWrites++
-	c.x.Edges.Store(c.outLo+uint32(k), w)
+	e := c.outLo + uint32(k)
+	c.x.Edges.Store(e, w)
+	if cl := c.x.clock; cl != nil {
+		cl.Stamp(e)
+	}
 	c.x.post(c.worker, int(c.outDst[k]))
 }
 

@@ -18,6 +18,9 @@ import (
 type Ctx struct {
 	eng *Engine
 	v   uint32
+	// worker is the owning worker's index, used to shard staleness
+	// observations when a delay clock is attached.
+	worker int
 
 	inSrc  []uint32 // sources of in-edges
 	inIdx  []uint32 // canonical indices of in-edges
@@ -134,6 +137,9 @@ func (c *Ctx) InEdgeVal(k int) uint64 {
 	if c.recording(c.inSrc[k]) {
 		c.eng.census.RecordRead(e, edgedata.SideDst)
 	}
+	if cl := c.eng.clock; cl != nil && !c.recordOnly {
+		cl.ObserveRead(c.worker, e)
+	}
 	return c.load(e)
 }
 
@@ -144,6 +150,9 @@ func (c *Ctx) OutEdgeVal(k int) uint64 {
 	c.sumReads++
 	if c.recording(c.outDst[k]) {
 		c.eng.census.RecordRead(e, edgedata.SideSrc)
+	}
+	if cl := c.eng.clock; cl != nil && !c.recordOnly {
+		cl.ObserveRead(c.worker, e)
 	}
 	return c.load(e)
 }
@@ -169,6 +178,9 @@ func (c *Ctx) SetInEdgeVal(k int, w uint64) {
 	} else {
 		c.eng.Edges.Store(e, w)
 	}
+	if cl := c.eng.clock; cl != nil {
+		cl.Stamp(e)
+	}
 	c.eng.front.Schedule(int(c.inSrc[k]))
 }
 
@@ -192,6 +204,9 @@ func (c *Ctx) SetOutEdgeVal(k int, w uint64) {
 		c.eng.commitStore(c.traceIdx, e, w)
 	} else {
 		c.eng.Edges.Store(e, w)
+	}
+	if cl := c.eng.clock; cl != nil {
+		cl.Stamp(e)
 	}
 	c.eng.front.Schedule(int(c.outDst[k]))
 }

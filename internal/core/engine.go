@@ -239,6 +239,13 @@ type Engine struct {
 
 	// curUpdate is the UpdateFunc of the run in progress, read by runFn.
 	curUpdate UpdateFunc
+
+	// clock measures read staleness in iterations when an Observer is
+	// attached (nil otherwise; the hot-path hooks cost one pointer test).
+	// The epoch advances once per iteration barrier, so a barrier engine's
+	// histogram concentrates at ≤ 1 epoch — the deterministic baseline the
+	// barrier-free executors' spread is compared against.
+	clock *obs.DelayClock
 }
 
 // updatePanic captures a recovered UpdateFunc panic.
@@ -284,6 +291,11 @@ func NewEngine(g *graph.Graph, opts Options) (*Engine, error) {
 	}
 	if e.opts.EnableCensus {
 		e.census = edgedata.NewCensus(g.M())
+	}
+	if opts.Observer != nil {
+		// One epoch per iteration barrier; one stamp slot per edge word.
+		e.clock = obs.NewDelayClock(e.opts.Threads, int(g.M()))
+		opts.Observer.SetDelaySource(obs.EngineCore, e.clock.Hist)
 	}
 	return e, nil
 }
@@ -347,6 +359,8 @@ func (e *Engine) Run(update UpdateFunc) (Result, error) {
 		defer inj.Disarm()
 	}
 
+	e.clock.Reset()
+	e.opts.Observer.SetPhase("core: running")
 	res := Result{Converged: true, Iterations: e.startIter}
 	bestActive := e.g.N() + 1
 	stalled := 0
@@ -431,8 +445,19 @@ func (e *Engine) Run(update UpdateFunc) (Result, error) {
 		}
 		res.Iterations++
 		e.front.Advance()
+		// Advance the delay clock with the barrier: during iteration n the
+		// epoch equals n, so a read of a value written last iteration
+		// measures exactly one epoch of staleness.
+		e.clock.Advance()
 	}
 	finish()
+	if o := e.opts.Observer; o != nil {
+		if res.Converged {
+			o.SetPhase("core: converged")
+		} else {
+			o.SetPhase("core: stopped")
+		}
+	}
 	return res, nil
 }
 
@@ -450,11 +475,13 @@ func (e *Engine) ensureWorkers() {
 	e.workers = make([]Ctx, e.opts.Threads)
 	for i := range e.workers {
 		e.workers[i].eng = e
+		e.workers[i].worker = i
 	}
 	if e.opts.PotentialCensus {
 		e.shadowWorkers = make([]Ctx, e.opts.Threads)
 		for i := range e.shadowWorkers {
 			e.shadowWorkers[i].eng = e
+			e.shadowWorkers[i].worker = i
 			e.shadowWorkers[i].recordOnly = true
 		}
 	}
@@ -490,6 +517,11 @@ func (e *Engine) emitIter(o *obs.Observer, iter int, stat IterStat) {
 		tCommits, tContested = t.TakeIterCommitStats()
 	}
 	wall, wait := e.pool.TakeBarrierStats()
+	var p50, p99, dmax int64
+	if cl := e.clock; cl != nil {
+		h := cl.Hist()
+		p50, p99, dmax = h.Quantile(0.50), h.Quantile(0.99), h.Max()
+	}
 	o.Emit(obs.Event{
 		Engine:           obs.EngineCore,
 		Iter:             int64(iter),
@@ -504,6 +536,9 @@ func (e *Engine) emitIter(o *obs.Observer, iter int, stat IterStat) {
 		Residual:         float64(stat.Scheduled) / float64(e.g.N()),
 		BarrierWaitNanos: int64(wait),
 		DurationNanos:    int64(wall),
+		DelayP50:         p50,
+		DelayP99:         p99,
+		DelayMax:         dmax,
 	})
 }
 

@@ -129,3 +129,41 @@ func TestVerdictNoSyncGate(t *testing.T) {
 		}
 	}
 }
+
+func TestVerdictEpsilonStopGate(t *testing.T) {
+	var nilV *Verdict
+	if err := nilV.EpsilonStop(); err == nil {
+		t.Error("nil verdict admitted to ε-stopping")
+	}
+	if err := (&Verdict{Eligible: false, Reasons: []string{"no premise"}}).EpsilonStop(); err == nil {
+		t.Error("ineligible verdict admitted to ε-stopping")
+	} else if !strings.Contains(err.Error(), "no premise") {
+		t.Errorf("refusal lost the verdict's reasons: %v", err)
+	}
+	// Theorem 2 (monotone traversals) must run to exact quiescence: an ε
+	// cut would stop a ripple mid-flight.
+	if err := (&Verdict{Eligible: true, Theorem: 2}).EpsilonStop(); err == nil {
+		t.Error("Theorem-2 verdict admitted to ε-stopping")
+	}
+	// A deterministic-results promise is incompatible with ε-stopping even
+	// under Theorem 1.
+	if err := (&Verdict{Eligible: true, Theorem: 1, DeterministicResults: true}).EpsilonStop(); err == nil {
+		t.Error("deterministic-results verdict admitted to ε-stopping")
+	}
+	// The PageRank shape: Theorem 1, approximate convergence.
+	if err := (&Verdict{Eligible: true, Theorem: 1}).EpsilonStop(); err != nil {
+		t.Errorf("Theorem-1 approximate verdict refused: %v", err)
+	}
+	// The real PageRank verdict (static profile) must pass the gate.
+	pr := Advise(Properties{Name: "pagerank", ConvergesSynchronously: true, ConvergesDetAsync: true, Convergence: Approximate},
+		ConflictProfile{RW: 10})
+	if err := pr.EpsilonStop(); err != nil {
+		t.Errorf("PageRank-shaped verdict refused: %v", err)
+	}
+	// The real WCC verdict (monotone, WW conflicts) must be refused.
+	wcc := Advise(Properties{Name: "wcc", ConvergesSynchronously: true, ConvergesDetAsync: true, Monotonic: true, Convergence: Absolute},
+		ConflictProfile{RW: 5, WW: 5})
+	if err := wcc.EpsilonStop(); err == nil {
+		t.Error("WCC-shaped Theorem-2 verdict admitted to ε-stopping")
+	}
+}

@@ -252,6 +252,52 @@ func TestDifferentialPageRankAllExecutors(t *testing.T) {
 		t.Fatalf("autonomous: %v", err)
 	}
 	closeEnough("autonomous", rank)
+
+	// ε-stopped work-stealing run: no local threshold (the run would spin at
+	// exact quiescence forever), terminated solely by the windowed-residual
+	// rule, and still required to land at the same fixed point as every
+	// engine above. The stopping threshold sits three decades under the
+	// comparison tolerance; per-commit residual amplifies into rank error by
+	// roughly max-indegree · d/(1−d) on this graph.
+	{
+		const stopEps = 1e-5
+		pr := &algorithms.PageRank{Epsilon: 0, Damping: 0.85}
+		v, err := algorithms.NoSyncVerdict(pr, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed, err := core.NewEngine(g, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr.Setup(seed)
+		x, err := async.NewNoSync(g, async.NoSyncOptions{
+			Threads: 4, Mode: edgedata.ModeAtomic, Verdict: &v,
+			MaxUpdates: 1 << 22, Epsilon: stopEps, ResidualDelta: pr.ResidualDelta,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer x.Close()
+		if err := x.LoadFrom(seed); err != nil {
+			t.Fatal(err)
+		}
+		nres, err := x.Run(pr.Update)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !nres.Converged || !nres.EpsilonStopped {
+			t.Fatalf("nosync-εstop: res = %+v, want ε-stopped convergence", nres)
+		}
+		if nres.FinalResidual >= stopEps {
+			t.Fatalf("nosync-εstop: final residual %g, want < %g", nres.FinalResidual, stopEps)
+		}
+		ranks := make([]float64, g.N())
+		for u := range ranks {
+			ranks[u] = edgedata.ToFloat64(x.Vertices[u])
+		}
+		closeEnough("nosync-εstop", ranks)
+	}
 }
 
 // Sanity: every executor pair really did run — count them so a silently

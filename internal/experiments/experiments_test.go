@@ -408,6 +408,45 @@ func TestPrecisionStudy(t *testing.T) {
 	}
 }
 
+func TestStalenessStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full staleness sweep")
+	}
+	stale, eps, err := StalenessStudy(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 graphs x 4 thread counts.
+	if want := 4 * 4; len(stale) != want {
+		t.Fatalf("staleness rows = %d, want %d", len(stale), want)
+	}
+	for _, r := range stale {
+		if !r.ResultsEqual {
+			t.Fatalf("%s/P%d: instrumented no-sync WCC fixed point differs from reference", r.Graph, r.Threads)
+		}
+		if r.Updates == 0 || r.Reads == 0 {
+			t.Fatalf("%s/P%d: delay clock observed nothing: %+v", r.Graph, r.Threads, r)
+		}
+		if r.DelayP50 > r.DelayP99 || r.DelayP99 > r.DelayMax {
+			t.Fatalf("%s/P%d: staleness quantiles out of order: %+v", r.Graph, r.Threads, r)
+		}
+	}
+	// 4 graphs x 2 epsilons (tinyConfig).
+	if want := 4 * 2; len(eps) != want {
+		t.Fatalf("ε-stop rows = %d, want %d", len(eps), want)
+	}
+	for _, r := range eps {
+		// Either the rule fired, or the run reached exact quiescence on its
+		// own; both must land within the ε the cell asked about.
+		if r.StopMaxErr > r.Epsilon {
+			t.Fatalf("%s/ε=%g: ε-stopped ranks off by %g", r.Graph, r.Epsilon, r.StopMaxErr)
+		}
+		if r.StopUpdates == 0 || r.FullUpdates == 0 {
+			t.Fatalf("%s/ε=%g: empty cell: %+v", r.Graph, r.Epsilon, r)
+		}
+	}
+}
+
 func TestNoSyncStudy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full engine sweep")

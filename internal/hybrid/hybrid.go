@@ -460,6 +460,7 @@ func (e *Engine) Run(ctx context.Context, k algorithms.Kernel) (Result, error) {
 		}
 	}
 
+	e.observer.SetPhase("hybrid: running")
 	start := time.Now()
 	finish := func() { res.Duration = time.Since(start) }
 	bestActive := n + 1
@@ -552,6 +553,13 @@ func (e *Engine) Run(ctx context.Context, k algorithms.Kernel) (Result, error) {
 		e.front.Advance()
 	}
 	finish()
+	if o := e.observer; o != nil {
+		if res.Converged {
+			o.SetPhase("hybrid: converged")
+		} else {
+			o.SetPhase("hybrid: stopped")
+		}
+	}
 	return res, nil
 }
 

@@ -176,6 +176,7 @@ func Run(ctx context.Context, opt Options) (*Result, error) {
 	defer c.closeConns()
 	c.installObs()
 	defer c.uninstallObs()
+	opt.Observer.SetPhase("netdist: launching workers")
 
 	ctx, cancel := context.WithTimeout(ctx, opt.Timeout)
 	defer cancel()
@@ -200,6 +201,7 @@ func Run(ctx context.Context, opt Options) (*Result, error) {
 			return nil, fmt.Errorf("netdist: start worker %d: %w", w.id, err)
 		}
 	}
+	opt.Observer.SetPhase("netdist: running")
 
 	res, err := c.supervise(ctx)
 	if err != nil {
@@ -207,6 +209,7 @@ func Run(ctx context.Context, opt Options) (*Result, error) {
 	}
 	res.Duration = time.Since(start)
 	c.emitSummary(res)
+	opt.Observer.SetPhase("netdist: converged")
 
 	// Clean shutdown: best effort, workers also exit when conns close.
 	for _, w := range c.workers {

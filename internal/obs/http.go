@@ -73,6 +73,24 @@ func (o *Observer) WriteMetrics(w io.Writer) {
 	gauge("ndgraph_residual_last", "Convergence residual (active fraction) of the most recent sample.",
 		func(s EngineStats) string { return strconv.FormatFloat(s.Residual, 'g', 6, 64) })
 
+	if delays := o.DelaySnapshots(); len(delays) > 0 {
+		writeHeader("ndgraph_delay_reads_total", "Reads observed by the engine's delay clock.", "counter")
+		for _, d := range delays {
+			fmt.Fprintf(w, "ndgraph_delay_reads_total{engine=%q} %d\n", d.Engine, d.Count)
+		}
+		writeHeader("ndgraph_delay_overflow_total", "Delay-clock reads that saturated the histogram range.", "counter")
+		for _, d := range delays {
+			fmt.Fprintf(w, "ndgraph_delay_overflow_total{engine=%q} %d\n", d.Engine, d.Overflow)
+		}
+		writeHeader("ndgraph_delay_epochs", "Read staleness in epochs, by quantile (the live empirical delay bound).", "gauge")
+		for _, d := range delays {
+			fmt.Fprintf(w, "ndgraph_delay_epochs{engine=%q,quantile=\"0.5\"} %d\n", d.Engine, d.P50)
+			fmt.Fprintf(w, "ndgraph_delay_epochs{engine=%q,quantile=\"0.9\"} %d\n", d.Engine, d.P90)
+			fmt.Fprintf(w, "ndgraph_delay_epochs{engine=%q,quantile=\"0.99\"} %d\n", d.Engine, d.P99)
+			fmt.Fprintf(w, "ndgraph_delay_epochs{engine=%q,quantile=\"1\"} %d\n", d.Engine, d.Max)
+		}
+	}
+
 	if fn := o.workerStatsFn(); fn != nil {
 		workers := fn()
 		renderWorker := func(name, help, typ string, get func(WorkerStats) int64) {
@@ -192,7 +210,9 @@ func registerHealth(mux *http.ServeMux, o *Observer) {
 }
 
 // Handler returns the observability endpoint: /metrics (Prometheus text),
-// /events (the ring buffer as JSON), /healthz (liveness), /readyz
+// /statusz (the live progress plane: phase, residual curve, staleness
+// quantiles, steal/idle rates, worker aggregates — JSON, or HTML with
+// ?format=html), /events (the ring buffer as JSON), /healthz (liveness), /readyz
 // (readiness, driven by SetReadiness), /buildinfo, /trace (the current
 // execution-path trace, when a source is installed), /debug/vars (expvar),
 // and /debug/pprof (the standard profiling suite). Workers of labeled
@@ -228,9 +248,12 @@ func (o *Observer) Handler() http.Handler {
 		}
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Prometheus text exposition format, version pinned per the
+		// exposition spec so scrapers negotiate correctly.
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		o.WriteMetrics(w)
 	})
+	mux.HandleFunc("/statusz", o.serveStatusz)
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)

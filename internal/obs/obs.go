@@ -142,6 +142,11 @@ type Event struct {
 	// steals from another worker's deque, and busy→idle transitions) for
 	// the sample; zero for engines without work stealing.
 	Steals, IdleTransitions int64
+	// DelayP50, DelayP99, and DelayMax are read-staleness quantiles (in
+	// epochs) from the emitting engine's DelayClock histogram at sample
+	// time — the live empirical delay bound per Blanco et al. All zero
+	// when no delay clock is attached.
+	DelayP50, DelayP99, DelayMax int64
 }
 
 // engineCounters aggregates one engine's events. All fields are atomics so
@@ -166,6 +171,9 @@ type engineCounters struct {
 	idleTrans   atomic.Int64
 	scheduled   atomic.Int64  // last sample's value (gauge)
 	residual    atomic.Uint64 // last sample's value (float64 bits, gauge)
+	delayP50    atomic.Int64  // last sample's staleness quantiles (gauges)
+	delayP99    atomic.Int64
+	delayMax    atomic.Int64
 }
 
 // Options configures an Observer.
@@ -178,6 +186,36 @@ type Options struct {
 	// enable it and report per-iteration RW/WW conflict rates. It costs
 	// one atomic OR per edge access in the core engine, so it is opt-in.
 	SampleConflicts bool
+	// WindowEvery is the time-window width of the per-engine window
+	// aggregation (the residual/staleness curves served by /statusz);
+	// 0 means one second. The observer keeps the most recent windowKeep
+	// closed windows per run, plus the pending partial window, which
+	// Close flushes.
+	WindowEvery time.Duration
+}
+
+// windowKeep is the closed-window ring capacity (shared by all engines).
+const windowKeep = 64
+
+// WindowStat is one closed aggregation window of one engine's events — a
+// point on the live residual/staleness curve. Counter fields are sums over
+// the window; Scheduled, Residual, and the Delay quantiles are the last
+// sample's values.
+type WindowStat struct {
+	Engine          string  `json:"engine"`
+	StartUnixNano   int64   `json:"start_unix_nano"`
+	EndUnixNano     int64   `json:"end_unix_nano"`
+	Samples         int64   `json:"samples"`
+	Updates         int64   `json:"updates"`
+	EdgeReads       int64   `json:"edge_reads"`
+	EdgeWrites      int64   `json:"edge_writes"`
+	Steals          int64   `json:"steals"`
+	IdleTransitions int64   `json:"idle_transitions"`
+	Scheduled       int64   `json:"scheduled"`
+	Residual        float64 `json:"residual"`
+	DelayP50        int64   `json:"delay_p50"`
+	DelayP99        int64   `json:"delay_p99"`
+	DelayMax        int64   `json:"delay_max"`
 }
 
 // Observer receives events from engines and fans them out to counters, the
@@ -205,6 +243,20 @@ type Observer struct {
 	// workerStats, when installed via SetWorkerStatsSource, adds
 	// per-worker distributed-run counters to /metrics.
 	workerStats func() []WorkerStats
+	// phase is the coarse lifecycle label engines report via SetPhase,
+	// shown by /statusz.
+	phase string
+	// delaySources holds the per-engine DelayClock snapshots installed via
+	// SetDelaySource, rendered by /statusz and /metrics.
+	delaySources [numEngines]func() DelayHist
+	// pending accumulates the current (not yet closed) aggregation window
+	// per engine; StartUnixNano == 0 marks an empty slot. windows is the
+	// ring of closed windows (ordered oldest-first via winSeq).
+	pending [numEngines]WindowStat
+	windows []WindowStat
+	winSeq  uint64
+
+	startUnixNano int64
 }
 
 // ReadyCheck is one named readiness condition reported by /readyz. Unlike
@@ -292,7 +344,15 @@ func New(opts Options) *Observer {
 	if opts.RingSize <= 0 {
 		opts.RingSize = 1024
 	}
-	return &Observer{opts: opts, ring: make([]Event, 0, opts.RingSize)}
+	if opts.WindowEvery <= 0 {
+		opts.WindowEvery = time.Second
+	}
+	return &Observer{
+		opts:          opts,
+		ring:          make([]Event, 0, opts.RingSize),
+		windows:       make([]WindowStat, 0, windowKeep),
+		startUnixNano: time.Now().UnixNano(),
+	}
 }
 
 // Enabled reports whether o is collecting (non-nil).
@@ -342,11 +402,14 @@ func (o *Observer) Emit(ev Event) {
 	c.idleTrans.Add(ev.IdleTransitions)
 	c.scheduled.Store(ev.Scheduled)
 	c.residual.Store(floatBits(ev.Residual))
+	c.delayP50.Store(ev.DelayP50)
+	c.delayP99.Store(ev.DelayP99)
+	c.delayMax.Store(ev.DelayMax)
 
 	o.mu.Lock()
-	// Sinks receive a pointer into the ring slot, not &ev: taking ev's
-	// address across the Sink interface would force the (stack) event to
-	// escape, costing one heap allocation per Emit.
+	// Sinks (and the window fold) receive a pointer into the ring slot, not
+	// &ev: taking ev's address across the Sink interface would force the
+	// (stack) event to escape, costing one heap allocation per Emit.
 	var slot *Event
 	if len(o.ring) < cap(o.ring) {
 		o.ring = append(o.ring, ev)
@@ -357,6 +420,7 @@ func (o *Observer) Emit(ev Event) {
 		slot = &o.ring[i]
 	}
 	o.seq++
+	o.windowFoldLocked(k, slot)
 	for _, s := range o.sinks {
 		s.Consume(slot)
 	}
@@ -374,14 +438,79 @@ func (o *Observer) AttachSink(s Sink) {
 	o.mu.Unlock()
 }
 
-// Close flushes and closes every attached sink, returning the first error.
-// The observer itself remains usable (counters keep accumulating) but the
-// closed sinks are detached. Safe on nil.
+// windowFoldLocked folds one event into its engine's pending aggregation
+// window and rolls the window into the closed ring once it spans
+// Options.WindowEvery. Caller holds o.mu; no allocation in steady state
+// (the ring is preallocated at windowKeep and then overwritten in place).
+func (o *Observer) windowFoldLocked(k EngineKind, ev *Event) {
+	p := &o.pending[k]
+	if p.StartUnixNano == 0 {
+		*p = WindowStat{Engine: k.String(), StartUnixNano: ev.TimeUnixNano}
+	}
+	p.EndUnixNano = ev.TimeUnixNano
+	p.Samples++
+	p.Updates += ev.Updates
+	p.EdgeReads += ev.EdgeReads
+	p.EdgeWrites += ev.EdgeWrites
+	p.Steals += ev.Steals
+	p.IdleTransitions += ev.IdleTransitions
+	p.Scheduled = ev.Scheduled
+	p.Residual = ev.Residual
+	p.DelayP50, p.DelayP99, p.DelayMax = ev.DelayP50, ev.DelayP99, ev.DelayMax
+	if ev.TimeUnixNano-p.StartUnixNano >= int64(o.opts.WindowEvery) {
+		o.rollWindowLocked(k)
+	}
+}
+
+// rollWindowLocked moves engine k's pending window (if any) into the closed
+// ring and clears the pending slot. Caller holds o.mu.
+func (o *Observer) rollWindowLocked(k EngineKind) {
+	p := &o.pending[k]
+	if p.StartUnixNano == 0 {
+		return
+	}
+	if len(o.windows) < cap(o.windows) {
+		o.windows = append(o.windows, *p)
+	} else {
+		o.windows[o.winSeq%uint64(cap(o.windows))] = *p
+	}
+	o.winSeq++
+	*p = WindowStat{}
+}
+
+// Windows returns the closed aggregation windows in emit order (oldest
+// first), across all engines. The final partial window of a run is included
+// once Close (or a later roll) has flushed it. Safe on nil (returns nil).
+func (o *Observer) Windows() []WindowStat {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]WindowStat, 0, len(o.windows))
+	if len(o.windows) < cap(o.windows) {
+		return append(out, o.windows...)
+	}
+	head := int(o.winSeq % uint64(cap(o.windows)))
+	out = append(out, o.windows[head:]...)
+	return append(out, o.windows[:head]...)
+}
+
+// Close flushes the pending partial aggregation windows into the closed
+// ring, then flushes and closes every attached sink, returning the first
+// error. Without the window flush, a short run (or the tail of any run)
+// whose final events never spanned a full WindowEvery would vanish from
+// Windows() and /statusz at shutdown. The observer itself remains usable
+// (counters keep accumulating) but the closed sinks are detached. Safe on
+// nil.
 func (o *Observer) Close() error {
 	if o == nil {
 		return nil
 	}
 	o.mu.Lock()
+	for k := EngineKind(0); k < numEngines; k++ {
+		o.rollWindowLocked(k)
+	}
 	sinks := o.sinks
 	o.sinks = nil
 	o.mu.Unlock()
@@ -433,6 +562,9 @@ type EngineStats struct {
 	IdleTransitions  int64   `json:"idle_transitions"`
 	Scheduled        int64   `json:"scheduled_last"`
 	Residual         float64 `json:"residual_last"`
+	DelayP50         int64   `json:"delay_p50_last"`
+	DelayP99         int64   `json:"delay_p99_last"`
+	DelayMax         int64   `json:"delay_max_last"`
 }
 
 // Stats snapshots the accumulated counters for every engine kind, in label
@@ -464,7 +596,87 @@ func (o *Observer) Stats() []EngineStats {
 			IdleTransitions:  c.idleTrans.Load(),
 			Scheduled:        c.scheduled.Load(),
 			Residual:         floatFromBits(c.residual.Load()),
+			DelayP50:         c.delayP50.Load(),
+			DelayP99:         c.delayP99.Load(),
+			DelayMax:         c.delayMax.Load(),
 		}
+	}
+	return out
+}
+
+// SetPhase records the coarse lifecycle label engines report ("nosync:
+// running", "netdist: loading graph", ...), shown live by /statusz. Engines
+// pass compile-time string constants, so reporting allocates nothing beyond
+// the call. Safe on nil (no-op).
+func (o *Observer) SetPhase(phase string) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.phase = phase
+	o.mu.Unlock()
+}
+
+// Phase returns the most recently reported lifecycle label. Safe on nil.
+func (o *Observer) Phase() string {
+	if o == nil {
+		return ""
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.phase
+}
+
+// SetDelaySource installs engine k's staleness-histogram snapshot function
+// (conventionally the bound DelayClock.Hist of the engine's clock), called
+// per /statusz render and /metrics scrape. Passing nil uninstalls it. Safe
+// on nil (no-op).
+func (o *Observer) SetDelaySource(k EngineKind, fn func() DelayHist) {
+	if o == nil || k >= numEngines {
+		return
+	}
+	o.mu.Lock()
+	o.delaySources[k] = fn
+	o.mu.Unlock()
+}
+
+// DelaySnapshot is one engine's staleness histogram, summarized for
+// /statusz and the experiments.
+type DelaySnapshot struct {
+	Engine   string `json:"engine"`
+	Count    int64  `json:"count"`
+	Overflow int64  `json:"overflow"`
+	P50      int64  `json:"p50"`
+	P90      int64  `json:"p90"`
+	P99      int64  `json:"p99"`
+	Max      int64  `json:"max"`
+}
+
+// DelaySnapshots renders every installed delay source, in engine-label
+// order, skipping engines with no source installed. Safe on nil.
+func (o *Observer) DelaySnapshots() []DelaySnapshot {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	var fns [numEngines]func() DelayHist
+	copy(fns[:], o.delaySources[:])
+	o.mu.Unlock()
+	var out []DelaySnapshot
+	for k, fn := range fns {
+		if fn == nil {
+			continue
+		}
+		h := fn()
+		out = append(out, DelaySnapshot{
+			Engine:   EngineKind(k).String(),
+			Count:    h.Count(),
+			Overflow: h.Overflow(),
+			P50:      h.Quantile(0.50),
+			P90:      h.Quantile(0.90),
+			P99:      h.Quantile(0.99),
+			Max:      h.Max(),
+		})
 	}
 	return out
 }

@@ -95,6 +95,14 @@ func (s *JSONLSink) Consume(ev *Event) {
 		b = append(b, `,"idle_transitions":`...)
 		b = strconv.AppendInt(b, ev.IdleTransitions, 10)
 	}
+	if ev.DelayP50 != 0 || ev.DelayP99 != 0 || ev.DelayMax != 0 {
+		b = append(b, `,"delay_p50":`...)
+		b = strconv.AppendInt(b, ev.DelayP50, 10)
+		b = append(b, `,"delay_p99":`...)
+		b = strconv.AppendInt(b, ev.DelayP99, 10)
+		b = append(b, `,"delay_max":`...)
+		b = strconv.AppendInt(b, ev.DelayMax, 10)
+	}
 	b = append(b, "}\n"...)
 	s.buf = b
 	_, s.err = s.w.Write(b)

@@ -1,0 +1,153 @@
+// /statusz: the human-facing live progress plane. Where /metrics is a
+// machine scrape of cumulative counters, /statusz answers "how is the run
+// going right now" — phase, iteration/epoch progress, the windowed residual
+// curve, staleness histogram quantiles from the delay clocks, steal/idle
+// rates, and per-netdist-worker aggregates — as JSON by default and as a
+// self-refreshing HTML page for a browser.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// statuszPayload is the JSON shape of /statusz.
+type statuszPayload struct {
+	Phase         string          `json:"phase"`
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Engines       []EngineStats   `json:"engines"`
+	Windows       []WindowStat    `json:"windows"`
+	Delay         []DelaySnapshot `json:"delay"`
+	Workers       []WorkerStats   `json:"workers,omitempty"`
+}
+
+// statusz assembles the live progress snapshot. Engines that have emitted
+// nothing are filtered out so the view tracks the run, not the inventory
+// (/metrics keeps the full inventory).
+func (o *Observer) statusz() statuszPayload {
+	p := statuszPayload{
+		Phase:         o.Phase(),
+		UptimeSeconds: float64(time.Now().UnixNano()-o.startUnixNano) / 1e9,
+		Windows:       o.Windows(),
+		Delay:         o.DelaySnapshots(),
+	}
+	for _, s := range o.Stats() {
+		if s.Samples > 0 {
+			p.Engines = append(p.Engines, s)
+		}
+	}
+	if fn := o.workerStatsFn(); fn != nil {
+		p.Workers = fn()
+	}
+	return p
+}
+
+// serveStatusz renders the progress plane: JSON unless the client asks for
+// HTML (?format=html, or an Accept header preferring text/html).
+func (o *Observer) serveStatusz(w http.ResponseWriter, r *http.Request) {
+	p := o.statusz()
+	format := r.URL.Query().Get("format")
+	wantHTML := format == "html" ||
+		(format == "" && strings.Contains(r.Header.Get("Accept"), "text/html"))
+	if !wantHTML {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(p)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	writeStatuszHTML(w, p)
+}
+
+// sparkline renders values as a unicode block-bar string, scaled to the
+// series maximum — enough to see the residual trend without a plotting
+// stack.
+func sparkline(vals []float64) string {
+	const blocks = "▁▂▃▄▅▆▇█"
+	if len(vals) == 0 {
+		return ""
+	}
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if max > 0 {
+			i = int(v / max * 7)
+			if i > 7 {
+				i = 7
+			}
+			if i < 0 {
+				i = 0
+			}
+		}
+		b.WriteRune([]rune(blocks)[i])
+	}
+	return b.String()
+}
+
+func writeStatuszHTML(w http.ResponseWriter, p statuszPayload) {
+	esc := html.EscapeString
+	fmt.Fprint(w, `<!DOCTYPE html><html><head><meta charset="utf-8">`+
+		`<meta http-equiv="refresh" content="2">`+
+		`<title>ndgraph /statusz</title><style>`+
+		`body{font-family:monospace;margin:1.5em}table{border-collapse:collapse;margin:0 0 1em}`+
+		`td,th{border:1px solid #999;padding:2px 8px;text-align:right}th{background:#eee}`+
+		`td:first-child,th:first-child{text-align:left}h2{margin:0.7em 0 0.3em}`+
+		`</style></head><body><h1>ndgraph /statusz</h1>`)
+	phase := p.Phase
+	if phase == "" {
+		phase = "(no phase reported)"
+	}
+	fmt.Fprintf(w, `<p>phase: <b>%s</b> &middot; uptime %.1fs</p>`, esc(phase), p.UptimeSeconds)
+
+	fmt.Fprint(w, `<h2>engines</h2><table><tr><th>engine</th><th>iters</th><th>updates</th><th>scheduled</th><th>residual</th><th>steals</th><th>idle</th><th>delay p50/p99/max</th></tr>`)
+	for _, s := range p.Engines {
+		fmt.Fprintf(w, `<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%.3g</td><td>%d</td><td>%d</td><td>%d / %d / %d</td></tr>`,
+			esc(s.Engine), s.Iterations, s.Updates, s.Scheduled, s.Residual, s.Steals, s.IdleTransitions, s.DelayP50, s.DelayP99, s.DelayMax)
+	}
+	fmt.Fprint(w, `</table>`)
+
+	if len(p.Delay) > 0 {
+		fmt.Fprint(w, `<h2>read staleness (epochs)</h2><table><tr><th>engine</th><th>reads</th><th>p50</th><th>p90</th><th>p99</th><th>max</th><th>overflow</th></tr>`)
+		for _, d := range p.Delay {
+			fmt.Fprintf(w, `<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>`,
+				esc(d.Engine), d.Count, d.P50, d.P90, d.P99, d.Max, d.Overflow)
+		}
+		fmt.Fprint(w, `</table>`)
+	}
+
+	if len(p.Windows) > 0 {
+		var resid []float64
+		for _, win := range p.Windows {
+			resid = append(resid, win.Residual)
+		}
+		fmt.Fprintf(w, `<h2>residual curve</h2><p>%s</p>`, sparkline(resid))
+		fmt.Fprint(w, `<table><tr><th>engine</th><th>window end</th><th>samples</th><th>updates</th><th>steals</th><th>idle</th><th>residual</th><th>delay p99</th></tr>`)
+		for _, win := range p.Windows {
+			fmt.Fprintf(w, `<tr><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%.3g</td><td>%d</td></tr>`,
+				esc(win.Engine), time.Unix(0, win.EndUnixNano).Format("15:04:05.000"),
+				win.Samples, win.Updates, win.Steals, win.IdleTransitions, win.Residual, win.DelayP99)
+		}
+		fmt.Fprint(w, `</table>`)
+	}
+
+	if len(p.Workers) > 0 {
+		fmt.Fprint(w, `<h2>netdist workers</h2><table><tr><th>worker</th><th>heartbeats</th><th>messages</th><th>adopted</th><th>retransmits</th><th>recoveries</th><th>unacked</th></tr>`)
+		for _, ws := range p.Workers {
+			fmt.Fprintf(w, `<tr><td>%s</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td></tr>`,
+				esc(ws.Worker), ws.Heartbeats, ws.Messages, ws.Adopted, ws.Retransmits, ws.Recoveries, ws.Unacked)
+		}
+		fmt.Fprint(w, `</table>`)
+	}
+	fmt.Fprint(w, `</body></html>`)
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStatuszServesJSON(t *testing.T) {
+	o := New(Options{})
+	o.SetPhase("nosync: running")
+	o.Emit(Event{Engine: EngineNoSync, Updates: 42, Residual: 0.25, DelayP99: 7})
+	clock := NewDelayClock(1, 1)
+	clock.Stamp(0)
+	clock.Advance()
+	clock.ObserveRead(0, 0)
+	o.SetDelaySource(EngineNoSync, clock.Hist)
+	defer o.Close()
+
+	code, hdr, body := doGet(t, o.Handler(), "/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/statusz Content-Type = %q", ct)
+	}
+	var p struct {
+		Phase   string          `json:"phase"`
+		Engines []EngineStats   `json:"engines"`
+		Windows []WindowStat    `json:"windows"`
+		Delay   []DelaySnapshot `json:"delay"`
+	}
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatalf("/statusz is not JSON: %v\n%s", err, body)
+	}
+	if p.Phase != "nosync: running" {
+		t.Errorf("phase = %q", p.Phase)
+	}
+	// Only engines that emitted appear; the nosync sample must be there.
+	if len(p.Engines) != 1 || p.Engines[0].Engine != "nosync" || p.Engines[0].Updates != 42 {
+		t.Errorf("engines = %+v", p.Engines)
+	}
+	if len(p.Delay) != 1 || p.Delay[0].Engine != "nosync" || p.Delay[0].Count != 1 || p.Delay[0].Max != 1 {
+		t.Errorf("delay = %+v", p.Delay)
+	}
+}
+
+func TestStatuszServesHTML(t *testing.T) {
+	o := New(Options{})
+	o.SetPhase("core: iterating")
+	o.Emit(Event{Engine: EngineCore, Updates: 9, Residual: 0.5})
+	_ = o.Close() // flush the partial window so the residual curve renders
+
+	for _, path := range []string{"/statusz?format=html"} {
+		code, hdr, body := doGet(t, o.Handler(), path)
+		if code != http.StatusOK {
+			t.Fatalf("%s = %d", path, code)
+		}
+		if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+			t.Fatalf("%s Content-Type = %q", path, ct)
+		}
+		for _, want := range []string{"core: iterating", "<table>", "residual curve"} {
+			if !strings.Contains(body, want) {
+				t.Errorf("%s missing %q", path, want)
+			}
+		}
+	}
+}
+
+// An Accept header preferring text/html (a browser) selects the HTML view
+// without the query parameter.
+func TestStatuszAcceptHeaderSelectsHTML(t *testing.T) {
+	o := New(Options{})
+	req := httptest.NewRequest(http.MethodGet, "/statusz", nil)
+	req.Header.Set("Accept", "text/html,application/xhtml+xml")
+	rr := httptest.NewRecorder()
+	o.Handler().ServeHTTP(rr, req)
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("Accept: text/html got Content-Type %q", ct)
+	}
+}
+
+func TestStatuszNilObserver(t *testing.T) {
+	var o *Observer
+	code, _, _ := doGet(t, o.Handler(), "/statusz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("nil observer /statusz = %d, want 503", code)
+	}
+}
+
+// Satellite: pin the Prometheus text exposition Content-Type so scrapers
+// relying on the version parameter never regress.
+func TestMetricsContentTypePinned(t *testing.T) {
+	o := New(Options{})
+	code, hdr, _ := doGet(t, o.Handler(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	const want = "text/plain; version=0.0.4; charset=utf-8"
+	if ct := hdr.Get("Content-Type"); ct != want {
+		t.Fatalf("/metrics Content-Type = %q, want %q", ct, want)
+	}
+}
+
+// /metrics renders the delay-clock series once a source is installed.
+func TestMetricsIncludeDelaySeries(t *testing.T) {
+	o := New(Options{})
+	clock := NewDelayClock(1, 2)
+	clock.Stamp(0)
+	for i := 0; i < 3; i++ {
+		clock.Advance()
+	}
+	clock.ObserveRead(0, 0) // staleness 3
+	o.SetDelaySource(EngineNoSync, clock.Hist)
+	var sb strings.Builder
+	o.WriteMetrics(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		`ndgraph_delay_reads_total{engine="nosync"} 1`,
+		`ndgraph_delay_overflow_total{engine="nosync"} 0`,
+		fmt.Sprintf(`ndgraph_delay_epochs{engine="nosync",quantile="0.99"} %d`, 3),
+		fmt.Sprintf(`ndgraph_delay_epochs{engine="nosync",quantile="1"} %d`, 3),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// Satellite: Emit, WriteMetrics, the HTTP handler, and window/delay
+// snapshots must be safe to run concurrently (exercised under -race in CI).
+func TestConcurrentEmitScrapeAndStatusz(t *testing.T) {
+	o := New(Options{RingSize: 64})
+	clock := NewDelayClock(2, 8)
+	o.SetDelaySource(EngineNoSync, clock.Hist)
+	h := o.Handler()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				slot := uint32(i % 8)
+				clock.Advance()
+				clock.Stamp(slot)
+				clock.ObserveRead(w, slot)
+				h := clock.Hist()
+				o.Emit(Event{Engine: EngineNoSync, Iter: int64(i), Updates: 1,
+					DelayP50: h.Quantile(0.5), DelayP99: h.Quantile(0.99), DelayMax: h.Max()})
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		o.WriteMetrics(&sb)
+		if code, _, body := doGet(t, h, "/statusz"); code != http.StatusOK {
+			t.Fatalf("/statusz under load = %d", code)
+		} else if !json.Valid([]byte(body)) {
+			t.Fatalf("/statusz under load is not JSON: %s", body)
+		}
+		if code, _, _ := doGet(t, h, "/metrics"); code != http.StatusOK {
+			t.Fatalf("/metrics under load = %d", code)
+		}
+		_ = o.Windows()
+		_ = o.DelaySnapshots()
+	}
+	close(stop)
+	wg.Wait()
+	if err := o.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

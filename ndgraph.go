@@ -359,6 +359,24 @@ type (
 	// TelemetryEngineStats is one engine's accumulated counter snapshot,
 	// as returned by Observer.Stats and rendered by /metrics.
 	TelemetryEngineStats = obs.EngineStats
+	// TelemetryWindow is one closed time window of aggregated samples —
+	// the unit of the /statusz residual curve (Observer.Windows).
+	TelemetryWindow = obs.WindowStat
+	// DelayClock measures staleness in barrier-free runs: per-worker epoch
+	// counters stamped when a value is published and read back when it is
+	// consumed, feeding a lock-free histogram of publish-to-read delays.
+	// Engines attach one automatically when an Observer is set.
+	DelayClock = obs.DelayClock
+	// DelayHist is a merged staleness histogram snapshot (DelayClock.Hist).
+	DelayHist = obs.DelayHist
+	// DelaySnapshot is one engine's rendered staleness quantiles, as served
+	// by /statusz and returned by Observer.DelaySnapshots.
+	DelaySnapshot = obs.DelaySnapshot
+	// ResidualEstimator accumulates per-commit value movement (striped,
+	// allocation-free) — the measurement half of ε-aware stopping.
+	ResidualEstimator = obs.ResidualEstimator
+	// ResidualTotals is a ResidualEstimator snapshot.
+	ResidualTotals = obs.ResidualTotals
 )
 
 var (
@@ -366,9 +384,14 @@ var (
 	NewObserver = obs.New
 	// NewJSONLSink streams events as JSON lines to a writer.
 	NewJSONLSink = obs.NewJSONLSink
-	// ServeTelemetry serves /metrics, /events, /debug/vars, and
+	// ServeTelemetry serves /metrics, /events, /debug/vars, /statusz, and
 	// /debug/pprof for an observer on the given address.
 	ServeTelemetry = obs.Serve
+	// NewDelayClock builds a standalone staleness clock (engines create
+	// their own when observing; this is for custom executors).
+	NewDelayClock = obs.NewDelayClock
+	// NewResidualEstimator builds a striped residual accumulator.
+	NewResidualEstimator = obs.NewResidualEstimator
 )
 
 // Execution-path record/replay and run-divergence diagnosis. A recorder

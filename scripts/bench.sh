@@ -13,11 +13,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_PR2.json}"
-bench="${BENCH:-HotPathIteration|PoolBlocks|PoolChunks|ParallelBlocks|ParallelChunks|ConvergenceSpeed|AblationDispatch|BFSEngines|NoSyncEngines}"
+bench="${BENCH:-HotPathIteration|PoolBlocks|PoolChunks|ParallelBlocks|ParallelChunks|ConvergenceSpeed|AblationDispatch|BFSEngines|NoSyncEngines|DelayClock|ResidualObserve}"
 benchtime="${BENCHTIME:-1x}"
 
 go test -run '^$' -bench "$bench" -benchtime "$benchtime" -benchmem \
-    . ./internal/sched/ |
+    . ./internal/sched/ ./internal/obs/ |
     go run ./cmd/benchjson -out "$out"
 go run ./cmd/benchjson -validate "$out"
 echo "bench: wrote and validated $out"

@@ -35,7 +35,11 @@ echo "== go test -shuffle=on (order-independence) =="
 go test -shuffle=on -count=1 ./...
 
 echo "== go test -race (concurrency-heavy packages, short) =="
-go test -race -short ./internal/core/ ./internal/async/ ./internal/dist/ ./internal/fault/ ./internal/shard/ ./internal/trace/ ./internal/netdist/ ./internal/obs/ ./internal/push/ ./internal/hybrid/ ./internal/frontier/ ./internal/sched/
+# internal/obs covers the lock-free delay clocks and striped residual
+# estimator under concurrent Emit/WriteMetrics/Handler; internal/async
+# covers the ε-aware stopping rule end to end (its epsilon tests do not
+# short-skip); internal/eligibility covers the EpsilonStop admission gate.
+go test -race -short ./internal/core/ ./internal/async/ ./internal/dist/ ./internal/fault/ ./internal/shard/ ./internal/trace/ ./internal/netdist/ ./internal/obs/ ./internal/push/ ./internal/hybrid/ ./internal/frontier/ ./internal/sched/ ./internal/eligibility/
 
 echo "== go test -race (cross-engine differential, lock + atomic modes) =="
 # The differential suite pins every executor to the sequential DE fixed
@@ -57,6 +61,18 @@ for target in FuzzLoadEdgeList FuzzLoadMatrixMarket FuzzReadBinary; do
     go test -run "^${target}\$" -fuzz "^${target}\$" -fuzztime "$FUZZTIME" ./internal/loader/
 done
 go test -run '^FuzzCheckpointRestore$' -fuzz '^FuzzCheckpointRestore$' -fuzztime "$FUZZTIME" ./internal/core/
+
+echo "== /statusz smoke (live progress plane) =="
+# Polls /statusz WHILE a work-stealing PageRank is running and fails unless
+# the endpoint serves well-formed JSON showing real mid-run progress (plus
+# an HTML rendering). Guards the progress plane against becoming a
+# post-mortem-only viewer.
+go run ./scripts/statuszsmoke/
+
+echo "== experiment smoke (staleness + ε-aware stopping study) =="
+# One tiny-scale pass of the delay-clock staleness table and the ε-stopping
+# table; exercises the full instrumented pipeline end to end.
+go run ./cmd/ndbench -exp staleness -scale 2000 -eps 1e-2 >/dev/null
 
 echo "== bench smoke (1x, JSON pipeline) =="
 # One iteration per benchmark family through scripts/bench.sh; the pipeline

@@ -1,8 +1,8 @@
 // Command ndlint statically answers the paper's title question for the
 // update functions in a Go package tree: is your graph algorithm eligible
-// for nondeterministic execution? It runs the four internal/analysis
-// passes (scopecheck, conflictclass, determinism, atomicity) in one of
-// two modes:
+// for nondeterministic execution? It runs the seven internal/analysis
+// passes (scopecheck, conflictclass, determinism, atomicity, and the
+// semantic trio propcheck, kernelcheck, admitcheck) in one of two modes:
 //
 // Standalone, over go-list package patterns:
 //
@@ -17,9 +17,19 @@
 //
 // With no pass flags every pass runs; naming one or more passes restricts
 // the run to those. Diagnostics go to stderr as file:line:col: [pass]
-// text; the exit status is 2 if any diagnostic fired, 1 on driver errors,
-// 0 otherwise. Findings are suppressed per line with
-// //ndlint:ignore <pass> <reason>.
+// text; -json switches to one JSON object per line (pass, pos, message,
+// counter-example) for CI annotation tooling. The exit status is 2 if any
+// diagnostic fired, 1 on driver errors, 0 otherwise. Findings are
+// suppressed per line with //ndlint:ignore <pass> <reason>.
+//
+// Certificate modes (standalone only):
+//
+//	ndlint -cert ./internal/algorithms            # emit eligibility certificates as JSON
+//	ndlint -certcheck certs.json ./internal/algorithms  # detect stale/tampered certificates
+//
+// -cert refuses to emit when any diagnostic fires (a refuted declaration
+// must not certify); -certcheck re-analyzes the packages and reports
+// every certificate whose source hash or facts no longer match.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"strings"
 
 	"ndgraph/internal/analysis"
+	"ndgraph/internal/eligibility"
 )
 
 func main() {
@@ -46,6 +57,9 @@ func run(args []string) int {
 	}
 	vFlag := fs.String("V", "", "print version and exit (used by go vet: -V=full)")
 	flagsFlag := fs.Bool("flags", false, "print the analyzer flags as JSON and exit (used by go vet)")
+	jsonFlag := fs.Bool("json", false, "emit diagnostics as JSON, one object per line")
+	certFlag := fs.Bool("cert", false, "emit eligibility certificates for the packages as JSON (standalone only)")
+	certCheckFlag := fs.String("certcheck", "", "compare the certificate `file` against fresh analysis and report stale entries (standalone only)")
 	enabled := map[string]*bool{}
 	for _, a := range analysis.Default() {
 		enabled[a.Name] = fs.Bool(a.Name, false, "run the "+a.Name+" pass (default: all passes)")
@@ -63,14 +77,14 @@ func run(args []string) int {
 		return 0
 	}
 	if *flagsFlag {
-		type jsonFlag struct {
+		type schemaFlag struct {
 			Name  string
 			Bool  bool
 			Usage string
 		}
-		var out []jsonFlag
+		out := []schemaFlag{{Name: "json", Bool: true, Usage: "emit diagnostics as JSON, one object per line"}}
 		for _, a := range analysis.Default() {
-			out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: "run the " + a.Name + " pass"})
+			out = append(out, schemaFlag{Name: a.Name, Bool: true, Usage: "run the " + a.Name + " pass"})
 		}
 		data, err := json.Marshal(out)
 		if err != nil {
@@ -92,10 +106,36 @@ func run(args []string) int {
 	}
 
 	rest := fs.Args()
-	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
-		return vetMode(rest[0], analyzers)
+	if *certFlag {
+		return certMode(rest)
 	}
-	return standalone(rest, analyzers)
+	if *certCheckFlag != "" {
+		return certCheckMode(*certCheckFlag, rest)
+	}
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return vetMode(rest[0], analyzers, *jsonFlag)
+	}
+	return standalone(rest, analyzers, *jsonFlag)
+}
+
+// printDiag renders one diagnostic in the selected format.
+func printDiag(d analysis.Diagnostic, asJSON bool) {
+	if !asJSON {
+		fmt.Fprintln(os.Stderr, d)
+		return
+	}
+	out := struct {
+		Pass    string `json:"pass"`
+		Pos     string `json:"pos"`
+		Message string `json:"message"`
+		Counter string `json:"counter,omitempty"`
+	}{Pass: d.Category, Pos: d.Pos.String(), Message: d.Message, Counter: d.Counter}
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndlint:", err)
+		return
+	}
+	fmt.Fprintln(os.Stderr, string(data))
 }
 
 // selfHash returns a short content hash of the running executable, so
@@ -119,7 +159,7 @@ func selfHash() string {
 
 // standalone loads package patterns from the current directory's module
 // and analyzes them.
-func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+func standalone(patterns []string, analyzers []*analysis.Analyzer, asJSON bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -136,9 +176,99 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
 			return 1
 		}
 		for _, d := range diags {
-			fmt.Fprintln(os.Stderr, d)
+			printDiag(d, asJSON)
 			status = 2
 		}
+	}
+	return status
+}
+
+// certMode emits the eligibility certificates of the given packages as
+// JSON on stdout. Emission is refused when any diagnostic fires — a
+// refuted declaration must not certify.
+func certMode(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndlint:", err)
+		return 1
+	}
+	var all []eligibility.Certificate
+	for _, pkg := range pkgs {
+		certs, diags, err := analysis.Certificates(pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ndlint:", err)
+			return 1
+		}
+		if len(diags) > 0 {
+			for _, d := range diags {
+				fmt.Fprintln(os.Stderr, d)
+			}
+			fmt.Fprintln(os.Stderr, "ndlint: refusing to emit certificates while diagnostics fire")
+			return 2
+		}
+		all = append(all, certs...)
+	}
+	data, err := eligibility.EncodeCertificates(all)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndlint:", err)
+		return 1
+	}
+	fmt.Println(string(data))
+	return 0
+}
+
+// certCheckMode re-analyzes the packages and compares against a stored
+// certificate file: every stored certificate must still exist with the
+// same source hash and identical facts. Stale or tampered entries are
+// reported and the exit status is 2.
+func certCheckMode(file string, patterns []string) int {
+	stored, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndlint:", err)
+		return 1
+	}
+	oldCerts, err := eligibility.DecodeCertificates(stored)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndlint:", err)
+		return 1
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndlint:", err)
+		return 1
+	}
+	var fresh []eligibility.Certificate
+	for _, pkg := range pkgs {
+		certs, _, err := analysis.Certificates(pkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ndlint:", err)
+			return 1
+		}
+		fresh = append(fresh, certs...)
+	}
+	status := 0
+	for i := range oldCerts {
+		old := &oldCerts[i]
+		cur, err := analysis.CertificateFor(fresh, old.Kind, old.Name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ndlint: certificate %s/%s no longer derivable: %v\n", old.Kind, old.Name, err)
+			status = 2
+			continue
+		}
+		if old.Stale(cur.SourceHash) {
+			fmt.Fprintf(os.Stderr, "ndlint: certificate %s/%s is STALE: stored hash %s, source now hashes to %s — re-run ndlint -cert\n",
+				old.Kind, old.Name, old.SourceHash, cur.SourceHash)
+			status = 2
+		}
+	}
+	if status == 0 {
+		fmt.Printf("ndlint: %d certificate(s) current\n", len(oldCerts))
 	}
 	return status
 }
@@ -160,7 +290,7 @@ type vetConfig struct {
 }
 
 // vetMode analyzes the single package described by a vet.cfg file.
-func vetMode(cfgFile string, analyzers []*analysis.Analyzer) int {
+func vetMode(cfgFile string, analyzers []*analysis.Analyzer, asJSON bool) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ndlint:", err)
@@ -225,7 +355,7 @@ func vetMode(cfgFile string, analyzers []*analysis.Analyzer) int {
 	}
 	if len(diags) > 0 {
 		for _, d := range diags {
-			fmt.Fprintln(os.Stderr, d)
+			printDiag(d, asJSON)
 		}
 		return 2
 	}

@@ -71,11 +71,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// reportCounter records a diagnostic that carries a machine-readable
+// counter-example (the semantic passes' concrete refutation), surfaced
+// separately by cmd/ndlint -json.
+func (p *Pass) reportCounter(pos token.Pos, counter, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Category: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Counter:  counter,
+	})
+}
+
 // A Diagnostic is one finding, with its resolved source position.
 type Diagnostic struct {
 	Pos      token.Position
 	Category string
 	Message  string
+	// Counter is the concrete counter-example backing a semantic finding
+	// (propcheck/kernelcheck/admitcheck); empty for syntactic passes.
+	Counter string
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -103,9 +118,12 @@ func NewInfo() *types.Info {
 	}
 }
 
-// Default returns the four ndlint passes in reporting order.
+// Default returns the ndlint passes in reporting order: the four
+// syntactic passes of PR 5, then the three semantic-verification passes
+// (propcheck/kernelcheck/admitcheck) built on the eval.go interpreter.
 func Default() []*Analyzer {
-	return []*Analyzer{ScopeCheck, ConflictClass, Determinism, Atomicity}
+	return []*Analyzer{ScopeCheck, ConflictClass, Determinism, Atomicity,
+		PropCheck, KernelCheck, AdmitCheck}
 }
 
 // ByName resolves an analyzer name; it returns nil if unknown.

@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -111,5 +113,239 @@ func TestPragmaCoversWildcard(t *testing.T) {
 	d := Diagnostic{Pos: token.Position{Filename: "f.go", Line: 12}, Category: "determinism"}
 	if pragmaCovers(pragmas, d) {
 		t.Error("line 12 covered by pragma on line 10")
+	}
+}
+
+func TestPropCheckFixtures(t *testing.T) {
+	results := RunFixture(t, PropCheck, "propcheck")
+	byRecv := map[string]PropReport{}
+	for _, r := range results["propcheck"].([]PropReport) {
+		byRecv[r.Recv] = r
+	}
+
+	min, ok := byRecv["GoodMin"]
+	if !ok {
+		t.Fatal("no report for GoodMin")
+	}
+	m := min.Merge
+	if !m.Extracted || m.Sites != 2 || m.AccKind != "uint64" {
+		t.Errorf("GoodMin merge = %+v, want 2 extracted uint64 sites", m)
+	}
+	if !m.SemilatticeVerified || m.Counter != "" {
+		t.Errorf("GoodMin semilattice not verified: %+v", m)
+	}
+	if !strings.HasPrefix(min.Hash, "fnv1a:") {
+		t.Errorf("GoodMin hash = %q, want fnv1a: prefix", min.Hash)
+	}
+
+	// GoodSum's idempotence is refuted but it never claimed Monotonic, so
+	// the refutation lives only in the pass result (no // want above).
+	sum := byRecv["GoodSum"].Merge
+	if !sum.Extracted || sum.Idempotent || sum.SemilatticeVerified {
+		t.Errorf("GoodSum merge = %+v, want extracted with idempotence refuted", sum)
+	}
+	if !strings.Contains(sum.Counter, "idempotence") {
+		t.Errorf("GoodSum counter = %q, want an idempotence counter-example", sum.Counter)
+	}
+
+	// BadSum's diagnostic (asserted by the want annotation) must carry the
+	// same concrete counter-example in the report.
+	bad := byRecv["BadSum"].Merge
+	if bad.Counter == "" {
+		t.Error("BadSum produced no counter-example")
+	}
+
+	// Disagreeing sites poison extraction rather than verifying anything.
+	div := byRecv["BadDiverge"].Merge
+	if div.Extracted || !strings.Contains(div.Note, "disagree") {
+		t.Errorf("BadDiverge merge = %+v, want unextracted with a disagreement note", div)
+	}
+}
+
+func TestKernelCheckFixtures(t *testing.T) {
+	results := RunFixture(t, KernelCheck, "kernelcheck")
+	byName := map[string]KernelReport{}
+	for _, r := range results["kernelcheck"].([]KernelReport) {
+		byName[r.Name] = r
+	}
+
+	min, ok := byName["goodmin"]
+	if !ok {
+		t.Fatal("no report for goodmin")
+	}
+	f := min.Facts
+	if !f.DirectionConsistent || !f.BetterIrreflexive || !f.BetterAntisymmetric ||
+		!f.BetterTransitive || !f.BetterTotal {
+		t.Errorf("goodmin facts = %+v, want a fully verified strict order", f)
+	}
+	if min.Constructor != "GoodMin" {
+		t.Errorf("goodmin constructor = %q, want GoodMin", min.Constructor)
+	}
+
+	fow := byName["goodfow"].Facts
+	if !fow.FirstOfferWinsChecked || !fow.FirstOfferWinsSound || fow.Unreached != ^uint64(0) {
+		t.Errorf("goodfow facts = %+v, want checked+sound FirstOfferWins with max unreached", fow)
+	}
+
+	edge := byName["goodedge"].Facts
+	if !edge.EdgeIndexedDeclared || !edge.EdgeIndexedUsed {
+		t.Errorf("goodedge facts = %+v, want EdgeIndexed declared and used", edge)
+	}
+
+	neq := byName["badneq"].Facts
+	if neq.BetterAntisymmetric || neq.BetterTransitive || neq.DirectionConsistent {
+		t.Errorf("badneq facts = %+v, want antisymmetry and transitivity refuted", neq)
+	}
+	if neq.Counter == "" {
+		t.Error("badneq produced no counter-example")
+	}
+}
+
+func TestAdmitCheckFixtures(t *testing.T) {
+	results := RunFixture(t, AdmitCheck, "admitcheck")
+	byRecv := map[string]AdmitReport{}
+	for _, r := range results["admitcheck"].([]AdmitReport) {
+		byRecv[r.Recv] = r
+	}
+
+	eps, ok := byRecv["GoodEps"]
+	if !ok {
+		t.Fatal("no report for GoodEps")
+	}
+	if eps.Theorem != 1 || !eps.NoSyncOK || !eps.EpsilonStopOK {
+		t.Errorf("GoodEps admission = %+v, want Theorem 1 with both gates open", eps)
+	}
+	if !eps.HasResidualDelta || !eps.ResidualDeltaChecked || !eps.ResidualDeltaOK {
+		t.Errorf("GoodEps residual metric = %+v, want declared+checked+law-clean", eps)
+	}
+
+	mono := byRecv["GoodMono"]
+	if mono.Theorem != 2 || !mono.NoSyncOK || mono.EpsilonStopOK {
+		t.Errorf("GoodMono admission = %+v, want Theorem 2, no-sync only", mono)
+	}
+
+	nord := byRecv["BadNoRD"]
+	if !nord.EpsilonStopOK || nord.HasResidualDelta {
+		t.Errorf("BadNoRD = %+v, want ε-admissible without a metric", nord)
+	}
+
+	badrd := byRecv["BadRD"]
+	if !badrd.ResidualDeltaChecked || badrd.ResidualDeltaOK || badrd.Counter == "" {
+		t.Errorf("BadRD = %+v, want the metric laws refuted with a counter-example", badrd)
+	}
+}
+
+// TestKernelPragmaSuppression covers the constructor-level kernelcheck
+// pragma (the PR's bug fix: the pragma used to have no effect on the
+// kernel path) and the malformed-pragma rule on that same path. Asserted
+// directly rather than via // want: the malformed pragma's diagnostic
+// lands on the pragma comment's own line, where no annotation can sit.
+func TestKernelPragmaSuppression(t *testing.T) {
+	loader := newFixtureLoader(t, filepath.Join("testdata", "src"))
+	pkg := loader.load("kernelpragma")
+	diags, results, err := RunAnalyzers(pkg, []*Analyzer{KernelCheck})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byName := map[string]KernelReport{}
+	for _, r := range results["kernelcheck"].([]KernelReport) {
+		byName[r.Name] = r
+	}
+	waived, ok := byName["waived"]
+	if !ok {
+		t.Fatal("suppressed kernel produced no report — certificates would lose it")
+	}
+	if !waived.Suppressed || waived.Facts.BetterAntisymmetric {
+		t.Errorf("waived report = %+v, want Suppressed with the law still refuted", waived)
+	}
+	if unwaived := byName["unwaived"]; unwaived.Suppressed {
+		t.Error("reason-less pragma suppressed the unwaived kernel")
+	}
+
+	var kernelDiags, pragmaDiags int
+	for _, d := range diags {
+		switch d.Category {
+		case "kernelcheck":
+			kernelDiags++
+			if !strings.Contains(d.Message, `"unwaived"`) {
+				t.Errorf("kernelcheck diagnostic escaped the constructor pragma: %s", d)
+			}
+		case "pragma":
+			pragmaDiags++
+		}
+	}
+	if kernelDiags == 0 {
+		t.Error("reason-less pragma silenced the kernelcheck diagnostics")
+	}
+	if pragmaDiags != 1 {
+		t.Errorf("malformed pragma reported %d times, want 1", pragmaDiags)
+	}
+}
+
+// TestCertificateStaleness mutates a fixture at the token level and
+// asserts the re-derived certificate hash moves — the property that
+// forces re-analysis when certified source changes.
+func TestCertificateStaleness(t *testing.T) {
+	tmp := t.TempDir()
+	root := filepath.Join(tmp, "src")
+	for _, dir := range []string{"core", "propcheck"} {
+		src := filepath.Join("testdata", "src", dir)
+		dst := filepath.Join(root, dir)
+		if err := os.MkdirAll(dst, 0o777); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := os.ReadDir(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(src, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o666); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	certOf := func(loaderRoot string) *eligibility.Certificate {
+		pkg := newFixtureLoader(t, loaderRoot).load("propcheck")
+		certs, _, err := Certificates(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := CertificateFor(certs, "update", "goodsum")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	before := certOf(root)
+
+	// Token-level, semantics-preserving mutation of GoodSum's update.
+	goodPath := filepath.Join(root, "propcheck", "good.go")
+	data, err := os.ReadFile(goodPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(data), "sum := uint64(0)", "sum := uint64(0x0)", 1)
+	if mutated == string(data) {
+		t.Fatal("mutation found nothing to replace")
+	}
+	if err := os.WriteFile(goodPath, []byte(mutated), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	after := certOf(root)
+
+	if before.SourceHash == after.SourceHash {
+		t.Fatalf("hash %s unchanged across a token-level edit", before.SourceHash)
+	}
+	if !before.Stale(after.SourceHash) {
+		t.Error("certificate does not report itself stale against the new hash")
+	}
+	if before.Stale(before.SourceHash) {
+		t.Error("certificate reports stale against its own hash")
 	}
 }

@@ -1,0 +1,38 @@
+// Package kernelpragma exercises constructor-level kernelcheck
+// suppression. No // want annotations: TestKernelPragmaSuppression
+// asserts on the diagnostics and reports directly, because the malformed
+// pragma's own diagnostic lands on the pragma comment's line, where no
+// second comment can sit.
+package kernelpragma
+
+// Kernel mirrors ndgraph/internal/algorithms.Kernel.
+type Kernel struct {
+	Name    string
+	Message func(srcVal uint64, e uint32) uint64
+	Better  func(candidate, current uint64) bool
+}
+
+// Waived builds a deliberately unsound kernel for a drift-measurement
+// path; the constructor-level pragma must silence the pass for every
+// kernel built inside it.
+//
+//ndlint:ignore kernelcheck measurement-only kernel, never admitted to an engine
+func Waived() Kernel {
+	return Kernel{
+		Name:    "waived",
+		Message: func(srcVal uint64, e uint32) uint64 { return srcVal },
+		Better:  func(candidate, current uint64) bool { return candidate != current },
+	}
+}
+
+// Unwaived carries a REASON-LESS pragma: it must not suppress, and the
+// pragma itself must be diagnosed as malformed.
+//
+//ndlint:ignore kernelcheck
+func Unwaived() Kernel {
+	return Kernel{
+		Name:    "unwaived",
+		Message: func(srcVal uint64, e uint32) uint64 { return srcVal },
+		Better:  func(candidate, current uint64) bool { return candidate != current },
+	}
+}

@@ -1,0 +1,22 @@
+// Package propcheck exercises the merge-law verifier. The
+// Properties/Condition types replicate internal/eligibility's — the pass
+// extracts declarations by field name, so the fixture stays
+// self-contained.
+package propcheck
+
+// Condition mirrors eligibility.Condition.
+type Condition int
+
+const (
+	Absolute Condition = iota
+	Approximate
+)
+
+// Properties mirrors eligibility.Properties.
+type Properties struct {
+	Name                   string
+	ConvergesSynchronously bool
+	ConvergesDetAsync      bool
+	Monotonic              bool
+	Convergence            Condition
+}

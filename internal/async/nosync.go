@@ -101,6 +101,14 @@ type NoSyncOptions struct {
 	// analysis (eligibility.AdviseStatic / ndlint), or both. NewNoSync
 	// refuses a nil, ineligible, or theorem-less verdict.
 	Verdict *eligibility.Verdict
+	// Certificate is the probe-free admission path: when Verdict is nil
+	// and a certificate is supplied, NewNoSync derives the verdict from
+	// the certificate (eligibility.Certificate.Verdict, which re-derives
+	// the gates and refuses tampered facts). A certificate holder should
+	// first check Stale against a fresh source hash — a stale certificate
+	// certifies code that no longer exists. When both are set, Verdict
+	// wins and the certificate is ignored.
+	Certificate *eligibility.Certificate
 	// StealSeed seeds the per-worker victim-selection RNG; 0 is a fixed
 	// default. Different seeds explore different interleavings.
 	StealSeed uint64
@@ -216,6 +224,13 @@ type NoSync struct {
 func NewNoSync(g *graph.Graph, opts NoSyncOptions) (*NoSync, error) {
 	if g == nil {
 		return nil, fmt.Errorf("async: nil graph")
+	}
+	if opts.Verdict == nil && opts.Certificate != nil {
+		v, err := opts.Certificate.Verdict()
+		if err != nil {
+			return nil, fmt.Errorf("async: %w", err)
+		}
+		opts.Verdict = v
 	}
 	if err := opts.Verdict.NoSync(); err != nil {
 		return nil, fmt.Errorf("async: %w", err)

@@ -35,6 +35,7 @@ import (
 
 	"ndgraph/internal/algorithms"
 	"ndgraph/internal/core"
+	"ndgraph/internal/eligibility"
 	"ndgraph/internal/frontier"
 	"ndgraph/internal/graph"
 	"ndgraph/internal/obs"
@@ -228,6 +229,10 @@ type Engine struct {
 	counters []wcounters
 	observer *obs.Observer
 	trace    *trace.Recorder
+
+	// cert, when installed via Certify, is validated against every kernel
+	// Run is handed before any iteration executes.
+	cert *eligibility.Certificate
 }
 
 // NewEngine builds a hybrid engine. threads < 1 defaults to GOMAXPROCS.
@@ -276,6 +281,17 @@ func (e *Engine) Trace(rec *trace.Recorder) { e.trace = rec }
 // Frontier exposes the scheduled set for seeding.
 func (e *Engine) Frontier() *frontier.Frontier { return e.front }
 
+// Certify installs an eligibility certificate (ndlint -cert /
+// algorithms.CertificateFor("kernel", name)) that Run validates before
+// executing: the certificate must be a kernel certificate for the same
+// Name, certified direction-consistent (Better a verified strict order,
+// so push/pull switching reaches the same fixed point), and must agree
+// with the kernel's EdgeIndexed and FirstOfferWins flags — the two
+// capabilities the pull sweeps condition on. nil uninstalls. Without a
+// certificate Run trusts the kernel's declarations as before; with one,
+// a kernel whose declarations drifted from what was verified is refused.
+func (e *Engine) Certify(c *eligibility.Certificate) { e.cert = c }
+
 // Close releases the persistent worker pool; the next Run re-creates it.
 func (e *Engine) Close() {
 	if e.pool != nil {
@@ -291,6 +307,11 @@ func (e *Engine) Close() {
 func (e *Engine) Run(ctx context.Context, k algorithms.Kernel) (Result, error) {
 	if k.Init == nil || k.Message == nil || k.Better == nil {
 		return Result{}, fmt.Errorf("hybrid: Kernel requires Init, Message, and Better")
+	}
+	if e.cert != nil {
+		if err := e.cert.AdmitKernel(k.Name, k.EdgeIndexed, k.FirstOfferWins); err != nil {
+			return Result{}, fmt.Errorf("hybrid: %w", err)
+		}
 	}
 	vals, seeds := k.Init(e.g)
 	if len(vals) != e.g.N() {

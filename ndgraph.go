@@ -106,6 +106,35 @@ type (
 	// StaticProfile records which edge sides an update function can
 	// touch, as derived from its source (cmd/ndlint's conflictclass pass).
 	StaticProfile = eligibility.StaticProfile
+	// Certificate is a machine-verified admission certificate emitted by
+	// ndlint's semantic passes (propcheck/kernelcheck/admitcheck). It is
+	// tamper-evident: Verdict() re-derives the recorded gates and errors
+	// on disagreement, Stale() detects source drift via the embedded
+	// hash, and AdmitKernel() checks a hybrid kernel's name and flags.
+	Certificate = eligibility.Certificate
+	// KernelCertificate is the kernel-specific law record inside a
+	// "kernel" Certificate (Better strict-order laws, flag obligations,
+	// direction consistency).
+	KernelCertificate = eligibility.KernelCert
+)
+
+// Admission certificates for the built-in algorithms and kernels,
+// verified by `ndlint -cert` and embedded at build time
+// (internal/algorithms/certs.json). CI re-derives them from source on
+// every run, so a certificate that decodes is current.
+var (
+	// EligibilityCertificates returns every embedded certificate.
+	EligibilityCertificates = algorithms.EligibilityCertificates
+	// CertificateFor returns one embedded certificate by kind ("update"
+	// or "kernel") and algorithm name, e.g. ("update", "wcc") or
+	// ("kernel", "bfs"). Pass it to NoSyncOptions.Certificate or
+	// HybridEngine.Certify for probe-free admission.
+	CertificateFor = algorithms.CertificateFor
+	// EncodeCertificates and DecodeCertificates are the JSON wire format
+	// for certificate registries (what `ndlint -cert` emits and
+	// `-certcheck` reads).
+	EncodeCertificates = eligibility.EncodeCertificates
+	DecodeCertificates = eligibility.DecodeCertificates
 )
 
 // Scheduler kinds (see internal/sched).

@@ -14,13 +14,19 @@
 package ndgraph_test
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"ndgraph/internal/algorithms"
 	"ndgraph/internal/analysis"
+	"ndgraph/internal/async"
+	"ndgraph/internal/core"
+	"ndgraph/internal/edgedata"
 	"ndgraph/internal/eligibility"
 	"ndgraph/internal/gen"
 	"ndgraph/internal/graph"
+	"ndgraph/internal/hybrid"
 )
 
 // updateRecv maps algorithm names to the receiver type of their Update
@@ -150,4 +156,214 @@ func TestStaticProfilesConsistentWithProbe(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestCertificatesConsistent adds the fourth oracle: the embedded
+// eligibility-certificate registry (internal/algorithms/certs.json) must
+// be byte-equivalent to certificates freshly re-derived from source —
+// any hash or fact drift fails here until `ndlint -cert` is re-run — and
+// each certificate's verdict must agree with the runtime probe on a
+// worst-case-realizing graph, for all eight algorithms and all three
+// hybrid kernels.
+func TestCertificatesConsistent(t *testing.T) {
+	pkgs, err := analysis.Load(".", "./internal/algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, diags, err := analysis.Certificates(pkgs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic while certifying: %s", d)
+	}
+	embedded, err := algorithms.EligibilityCertificates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, embedded) {
+		t.Fatalf("embedded certificate registry is stale: re-run\n\tgo run ./cmd/ndlint -cert ./internal/algorithms > internal/algorithms/certs.json\nfresh:    %+v\nembedded: %+v", fresh, embedded)
+	}
+
+	g, err := gen.RMAT(400, 2400, gen.DefaultRMAT, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registry := algorithms.StaticProfiles()
+
+	names := []string{"pagerank", "wcc", "sssp", "bfs", "spmv", "kcore", "labelprop", "coloring"}
+	for _, name := range names {
+		t.Run("update/"+name, func(t *testing.T) {
+			cert, err := algorithms.CertificateFor("update", name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cert.Profile == nil || *cert.Profile != registry[name] {
+				t.Errorf("certificate profile %+v != registry %+v", cert.Profile, registry[name])
+			}
+
+			a := makeAlgorithm(t, name, g)
+			_, probeVerdict, err := algorithms.Probe(a, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			probeNoSync := probeVerdict.NoSync() == nil
+			probeEps := probeVerdict.EpsilonStop() == nil
+			if cert.NoSyncOK != probeNoSync || cert.EpsilonStopOK != probeEps {
+				t.Errorf("certificate gates (nosync=%v εstop=%v) disagree with probe census gates (nosync=%v εstop=%v)",
+					cert.NoSyncOK, cert.EpsilonStopOK, probeNoSync, probeEps)
+			}
+
+			// The certificate's verdict — the engines' admission ticket —
+			// must reconstruct and agree with the probe on this
+			// worst-case-realizing graph.
+			if cert.NoSyncOK || cert.EpsilonStopOK {
+				v, err := cert.Verdict()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.Source != "cert" {
+					t.Errorf("verdict source = %q, want cert", v.Source)
+				}
+				if v.Eligible != probeVerdict.Eligible || v.Theorem != probeVerdict.Theorem {
+					t.Errorf("cert verdict (eligible=%v theorem=%d) != probe verdict (eligible=%v theorem=%d)",
+						v.Eligible, v.Theorem, probeVerdict.Eligible, probeVerdict.Theorem)
+				}
+			}
+		})
+	}
+
+	kernels := map[string]algorithms.Kernel{
+		"wcc":  algorithms.WCCKernel(),
+		"bfs":  algorithms.BFSKernel(0),
+		"sssp": algorithms.SSSPKernel(0, make([]float64, g.M())),
+	}
+	for name, k := range kernels {
+		t.Run("kernel/"+name, func(t *testing.T) {
+			cert, err := algorithms.CertificateFor("kernel", name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cert.Kernel.DirectionConsistent {
+				t.Error("kernel not certified direction-consistent")
+			}
+			if err := cert.AdmitKernel(k.Name, k.EdgeIndexed, k.FirstOfferWins); err != nil {
+				t.Errorf("certificate refuses its own kernel: %v", err)
+			}
+			// Flag drift must be refused.
+			if err := cert.AdmitKernel(k.Name, !k.EdgeIndexed, k.FirstOfferWins); err == nil {
+				t.Error("certificate admitted a kernel with a drifted EdgeIndexed flag")
+			}
+		})
+	}
+}
+
+// TestCertificateAdmitsEngines drives both certificate-accepting
+// admission paths end to end without a probe: a no-sync WCC run admitted
+// purely on the embedded certificate must reach the engine fixed point,
+// and a certified hybrid BFS run must match its uncertified twin.
+func TestCertificateAdmitsEngines(t *testing.T) {
+	g, err := gen.RMAT(300, 1800, gen.DefaultRMAT, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("nosync", func(t *testing.T) {
+		cert, err := algorithms.CertificateFor("update", "wcc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := algorithms.NewWCC()
+		eng, err := core.NewEngine(g, core.Options{Mode: edgedata.ModeSequential})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Setup(eng)
+		x, err := async.NewNoSync(g, async.NoSyncOptions{
+			Threads:     2,
+			Mode:        edgedata.ModeAtomic,
+			Certificate: cert, // no Verdict: the certificate IS the ticket
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer x.Close()
+		if err := x.LoadFrom(eng); err != nil {
+			t.Fatal(err)
+		}
+		res, err := x.Run(a.Update)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatal("certificate-admitted no-sync run did not converge")
+		}
+
+		// Same fixed point as the deterministic engine.
+		ref, err := core.NewEngine(g, core.Options{Mode: edgedata.ModeSequential})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Setup(ref)
+		if _, err := ref.Run(a.Update); err != nil {
+			t.Fatal(err)
+		}
+		for v := range x.Vertices {
+			if x.Vertices[v] != ref.Vertices[v] {
+				t.Fatalf("vertex %d: nosync %d != reference %d", v, x.Vertices[v], ref.Vertices[v])
+			}
+		}
+
+		// A stale certificate must not admit.
+		staleCert := *cert
+		staleCert.NoSyncOK = false // tampered gate: Verdict() must refuse
+		if _, err := async.NewNoSync(g, async.NoSyncOptions{
+			Threads: 2, Mode: edgedata.ModeAtomic, Certificate: &staleCert,
+		}); err == nil {
+			t.Fatal("tampered certificate admitted a no-sync run")
+		}
+	})
+
+	t.Run("hybrid", func(t *testing.T) {
+		cert, err := algorithms.CertificateFor("kernel", "bfs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		und := g.Undirected()
+		k := algorithms.BFSKernel(0)
+
+		certified, err := hybrid.NewEngine(und, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer certified.Close()
+		certified.Certify(cert)
+		if _, err := certified.Run(context.Background(), k); err != nil {
+			t.Fatal(err)
+		}
+
+		plain, err := hybrid.NewEngine(und, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer plain.Close()
+		if _, err := plain.Run(context.Background(), k); err != nil {
+			t.Fatal(err)
+		}
+		for v := range certified.Vertices {
+			if certified.Vertices[v] != plain.Vertices[v] {
+				t.Fatalf("vertex %d: certified %d != plain %d", v, certified.Vertices[v], plain.Vertices[v])
+			}
+		}
+
+		// A certificate for a different kernel must be refused up front.
+		wrong, err := algorithms.CertificateFor("kernel", "sssp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		certified.Certify(wrong)
+		if _, err := certified.Run(context.Background(), k); err == nil {
+			t.Fatal("hybrid engine ran a BFS kernel under an SSSP certificate")
+		}
+	})
 }

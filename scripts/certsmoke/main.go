@@ -1,0 +1,110 @@
+// Command certsmoke is the CI gate for the eligibility-certificate
+// registry: it re-derives the certificates of ./internal/algorithms from
+// source, demands that the embedded registry (certs.json) matches
+// exactly — any drift means someone edited certified source without
+// re-running `ndlint -cert` — and then exercises the failure paths the
+// engines rely on: a perturbed hash must read as stale, and a tampered
+// gate must make Verdict() refuse admission.
+package main
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+
+	"ndgraph/internal/algorithms"
+	"ndgraph/internal/analysis"
+	"ndgraph/internal/eligibility"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "certsmoke:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	pkgs, err := analysis.Load(".", "./internal/algorithms")
+	if err != nil {
+		return err
+	}
+	if len(pkgs) != 1 {
+		return fmt.Errorf("loaded %d packages, want 1", len(pkgs))
+	}
+	fresh, diags, err := analysis.Certificates(pkgs[0])
+	if err != nil {
+		return err
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		return fmt.Errorf("%d diagnostic(s) while certifying — a refuted declaration must not certify", len(diags))
+	}
+
+	var updates, kernels int
+	for _, c := range fresh {
+		switch c.Kind {
+		case "update":
+			updates++
+		case "kernel":
+			kernels++
+		}
+	}
+	if updates < 7 || kernels != 3 {
+		return fmt.Errorf("derived %d update and %d kernel certificates, want >=7 and 3", updates, kernels)
+	}
+
+	embedded, err := algorithms.EligibilityCertificates()
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(fresh, embedded) {
+		return fmt.Errorf("embedded registry is stale: re-run\n\tgo run ./cmd/ndlint -cert ./internal/algorithms > internal/algorithms/certs.json")
+	}
+
+	// The wire format must round-trip losslessly.
+	data, err := eligibility.EncodeCertificates(fresh)
+	if err != nil {
+		return err
+	}
+	decoded, err := eligibility.DecodeCertificates(data)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(fresh, decoded) {
+		return fmt.Errorf("certificates do not survive a JSON round-trip")
+	}
+
+	// Staleness: any hash movement must be detected.
+	wcc, err := analysis.CertificateFor(fresh, "update", "wcc")
+	if err != nil {
+		return err
+	}
+	if wcc.Stale(wcc.SourceHash) {
+		return fmt.Errorf("certificate reports stale against its own hash")
+	}
+	if !wcc.Stale(wcc.SourceHash + "0") {
+		return fmt.Errorf("certificate does not report stale against a perturbed hash")
+	}
+
+	// Tamper resistance: a flipped gate must fail Verdict()'s
+	// re-derivation, so a hand-edited certificate cannot admit anything.
+	if _, err := wcc.Verdict(); err != nil {
+		return fmt.Errorf("genuine wcc certificate refused: %w", err)
+	}
+	tampered := *wcc
+	tampered.NoSyncOK = false
+	if _, err := tampered.Verdict(); err == nil {
+		return fmt.Errorf("tampered certificate (flipped NoSyncOK) still produced a verdict")
+	}
+	tampered = *wcc
+	tampered.Theorem = 1
+	if _, err := tampered.Verdict(); err == nil {
+		return fmt.Errorf("tampered certificate (rewritten theorem) still produced a verdict")
+	}
+
+	fmt.Printf("certsmoke OK: %d update + %d kernel certificates current, stale/tampered certificates refused\n", updates, kernels)
+	return nil
+}
